@@ -1,0 +1,1 @@
+bench/exp_cost.ml: Analyze Bechamel Benchmark Combin Conflict Core Hashtbl Herbrand Instance List Locking Measure Printf Random Sched Schedule Sim Staged Syntax Tables Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/exp_delay.ml: Core Examples Expr Format List Printf Random Sched Schedule Sim Syntax Tables

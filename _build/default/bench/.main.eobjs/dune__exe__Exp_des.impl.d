@@ -1,0 +1,1 @@
+bench/exp_des.ml: Format List Printf Random Sim Tables

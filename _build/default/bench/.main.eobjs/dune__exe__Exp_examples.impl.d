@@ -1,0 +1,1 @@
+bench/exp_examples.ml: Array Combin Conflict Core Examples Exec Format Herbrand List Names Printf Schedule State String System Tables Weak_sr

@@ -1,0 +1,1 @@
+bench/exp_fixpoint.ml: Core Equivalence Examples Fixpoint List Locking Printf Sim Syntax Tables Weak_sr

@@ -1,0 +1,1 @@
+bench/exp_locking.ml: Array Combin Conflict Core Examples Format List Locking Names Printf Schedule Syntax Tables

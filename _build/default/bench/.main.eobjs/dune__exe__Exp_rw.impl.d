@@ -1,0 +1,1 @@
+bench/exp_rw.ml: Array Combin Conflict Core Format Herbrand List Locking Names Printf Random Recovery Rw_model Schedule Sim Syntax Tables

@@ -1,0 +1,1 @@
+bench/exp_theorems.ml: Adversary Array Conflict Core Examples Expr Fixpoint Format Fun Info List Names Optimality Printf Sched Schedule State String Syntax System Tables Weak_sr

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_cost Exp_delay Exp_des Exp_examples Exp_fixpoint Exp_locking Exp_rw Exp_theorems List Printf String Sys

@@ -1,0 +1,46 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper (see DESIGN.md's per-experiment index).
+
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- E1 F3 P2  # a selection
+*)
+
+let experiments =
+  [
+    ("E1", Exp_examples.e1);
+    ("F1", Exp_examples.f1);
+    ("F2", Exp_locking.f2);
+    ("F5", Exp_locking.f5);
+    ("F3", Exp_locking.f3);
+    ("F4", Exp_locking.f4);
+    ("F4x", Exp_locking.tree);
+    ("A1", Exp_locking.a1);
+    ("T1", Exp_theorems.t1);
+    ("T2", Exp_theorems.t2);
+    ("T3", Exp_theorems.t3);
+    ("T4", Exp_theorems.t4);
+    ("P1", Exp_fixpoint.run);
+    ("P2", Exp_delay.run);
+    ("P3", Exp_des.run);
+    ("X1", Exp_rw.run);
+    ("X2", Exp_rw.x2);
+    ("X3", Exp_rw.x3);
+    ("P4", Exp_cost.run);
+  ]
+
+let () =
+  let selected =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as picks) -> picks
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment %s (known: %s)\n" id
+          (String.concat " " (List.map fst experiments));
+        exit 2)
+    selected;
+  Printf.printf "\nall selected experiments completed.\n"

@@ -1,0 +1,206 @@
+(* ccopt — command-line multitool for the concurrency-control optimality
+   library.
+
+     ccopt classify  --syntax "xy,yx"           fixpoint hierarchy
+     ccopt herbrand  --syntax "xx,x" --schedule 010
+     ccopt geometry  --syntax "xy,xy" --policy 2pl
+     ccopt schedule  --syntax "xy,yx" --arrivals 0101 --scheduler sgt
+     ccopt verify    [--k 2]                    theorem micro-universes
+     ccopt measure   --syntax "xy,yx" --samples 500
+*)
+
+open Core
+
+(* ---------- shared argument parsing ---------- *)
+
+let parse_syntax spec =
+  let groups = String.split_on_char ',' spec in
+  Syntax.of_lists
+    (List.map
+       (fun g ->
+         if g = "" then invalid_arg "empty transaction in --syntax";
+         List.init (String.length g) (fun i -> String.make 1 g.[i]))
+       groups)
+
+let parse_interleaving spec =
+  Array.init (String.length spec) (fun i ->
+      let c = spec.[i] in
+      if c < '0' || c > '9' then invalid_arg "--schedule expects digits";
+      Char.code c - Char.code '0')
+
+let policy_of_name = function
+  | "2pl" -> Locking.Two_phase.policy
+  | "2pl'" | "2plprime" -> Locking.Two_phase_prime.policy ~distinguished:"x"
+  | "preclaim" -> Locking.Preclaim.policy
+  | "mutex" -> Locking.Mutex_policy.policy
+  | name -> invalid_arg ("unknown policy " ^ name ^ " (2pl, 2pl', preclaim, mutex)")
+
+let scheduler_of_name syntax = function
+  | "serial" -> fun () -> Sched.Serial_sched.create ~fmt:(Syntax.format syntax)
+  | "sgt" -> fun () -> Sched.Sgt.create ~syntax
+  | "2pl" -> fun () -> Sched.Tpl_sched.create_2pl ~syntax
+  | "to" -> fun () -> Sched.Timestamp.create ~syntax
+  | name -> invalid_arg ("unknown scheduler " ^ name ^ " (serial, sgt, 2pl, to)")
+
+(* ---------- subcommand bodies ---------- *)
+
+let classify spec probes =
+  let syntax = parse_syntax spec in
+  let sys = Sim.Workload.counters syntax in
+  let fmt = Syntax.format syntax in
+  if Schedule.count fmt > 5000 then begin
+    Printf.eprintf "|H| = %d too large to enumerate\n" (Schedule.count fmt);
+    exit 1
+  end;
+  let probes = Weak_sr.default_probes ~seed:17 ~count:probes sys in
+  let sets = Fixpoint.compute sys ~probes in
+  let h, serial, sr, wsr, c = Fixpoint.counts sets in
+  Printf.printf "|H| = %d  serial = %d  SR = %d  WSR = %d  C = %d  chain: %b\n"
+    h serial sr wsr c (Fixpoint.chain_holds sets);
+  Printf.printf "equivalence classes: %d (%d serializable)\n"
+    (Equivalence.class_count syntax)
+    (Equivalence.serializable_classes syntax)
+
+let herbrand spec sched_spec =
+  let syntax = parse_syntax spec in
+  let h = Schedule.of_interleaving (parse_interleaving sched_spec) in
+  if not (Schedule.is_schedule_of (Syntax.format syntax) h) then begin
+    Printf.eprintf "not a schedule of the syntax\n";
+    exit 1
+  end;
+  Format.printf "schedule %a@." Schedule.pp h;
+  Format.printf "herbrand state: %a@." Herbrand.pp_state
+    (Herbrand.run syntax h);
+  Format.printf "conflict-serializable: %b@." (Conflict.serializable syntax h);
+  match Herbrand.serialization_witness syntax h with
+  | Some order ->
+    Format.printf "equivalent serial order: %s@."
+      (String.concat " " (List.map (fun i -> "T" ^ string_of_int (i + 1))
+                            (Array.to_list order)))
+  | None -> Format.printf "no equivalent serial order@."
+
+let geometry spec policy_name =
+  let syntax = parse_syntax spec in
+  if Syntax.n_transactions syntax <> 2 then begin
+    Printf.eprintf "geometry needs exactly two transactions\n";
+    exit 1
+  end;
+  let policy = policy_of_name policy_name in
+  let locked = policy.Locking.Policy.apply syntax in
+  print_endline (Locking.Render.figure locked);
+  let g = Locking.Geometry.analyse locked in
+  Printf.printf "blocks connected: %b\n" (Locking.Geometry.blocks_connected g);
+  match Locking.Geometry.common_point g with
+  | Some (x, y) -> Printf.printf "common point: (%d,%d)\n" x y
+  | None -> ()
+
+let schedule_cmd spec arrivals_spec sched_name =
+  let syntax = parse_syntax spec in
+  let fmt = Syntax.format syntax in
+  let arrivals = parse_interleaving arrivals_spec in
+  let mk = scheduler_of_name syntax sched_name in
+  let s = Sched.Driver.run (mk ()) ~fmt ~arrivals in
+  Format.printf "output:    %a@." Schedule.pp s.Sched.Driver.output;
+  Printf.printf
+    "delays %d, restarts %d, deadlocks %d, waiting %d, zero-delay %b\n"
+    s.Sched.Driver.delays s.Sched.Driver.restarts s.Sched.Driver.deadlocks
+    s.Sched.Driver.waiting (Sched.Driver.zero_delay s)
+
+let verify k =
+  let r2 = Optimality.Verify.theorem2_report ~k ~fmt:[| 2; 1 |] ~vars:[ "x" ] in
+  Format.printf "Theorem 2 (format (2,1), Z%d):@.%a@.@." k
+    Optimality.Verify.pp_report r2;
+  let syntax = parse_syntax "xy,yx" in
+  let r3 = Optimality.Verify.theorem3_report ~k syntax in
+  Format.printf "Theorem 3 (syntax xy,yx, Z%d):@.%a@." k
+    Optimality.Verify.pp_report r3
+
+let measure spec samples =
+  let syntax = parse_syntax spec in
+  let rows =
+    Sim.Measure.compare_schedulers
+      (Sim.Measure.standard_suite syntax)
+      ~fmt:(Syntax.format syntax) ~samples ~seed:1
+  in
+  Format.printf "%a" Sim.Measure.pp_rows rows
+
+(* ---------- cmdliner wiring ---------- *)
+
+open Cmdliner
+
+let syntax_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "syntax"; "s" ] ~docv:"SPEC"
+        ~doc:"Transactions as comma-separated variable strings (xy,yx).")
+
+let classify_cmd =
+  let probes =
+    Arg.(value & opt int 12 & info [ "probes" ] ~doc:"Probe states for WSR/C.")
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"fixpoint-set hierarchy of a system")
+    Term.(const classify $ syntax_arg $ probes)
+
+let herbrand_cmd =
+  let sched =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"DIGITS"
+          ~doc:"Interleaving as transaction indices, e.g. 010.")
+  in
+  Cmd.v
+    (Cmd.info "herbrand" ~doc:"symbolic execution and serializability")
+    Term.(const herbrand $ syntax_arg $ sched)
+
+let geometry_cmd =
+  let policy =
+    Arg.(
+      value & opt string "2pl"
+      & info [ "policy" ] ~doc:"2pl, 2pl', preclaim or mutex.")
+  in
+  Cmd.v
+    (Cmd.info "geometry" ~doc:"progress-space figure for two transactions")
+    Term.(const geometry $ syntax_arg $ policy)
+
+let schedule_run_cmd =
+  let arrivals =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "arrivals" ] ~docv:"DIGITS" ~doc:"Request stream, e.g. 0101.")
+  in
+  let sched =
+    Arg.(
+      value & opt string "sgt"
+      & info [ "scheduler" ] ~doc:"serial, sgt, 2pl or to.")
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"drive an online scheduler over a stream")
+    Term.(const schedule_cmd $ syntax_arg $ arrivals $ sched)
+
+let verify_cmd =
+  let k = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Domain size Z_k.") in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"exhaustive micro-universe theorem checks")
+    Term.(const verify $ k)
+
+let measure_cmd =
+  let samples =
+    Arg.(value & opt int 500 & info [ "samples" ] ~doc:"Random histories.")
+  in
+  Cmd.v
+    (Cmd.info "measure" ~doc:"scheduler delay comparison")
+    Term.(const measure $ syntax_arg $ samples)
+
+let () =
+  let doc = "concurrency-control optimality toolbox (Kung-Papadimitriou 1979)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "ccopt" ~doc)
+          [
+            classify_cmd; herbrand_cmd; geometry_cmd; schedule_run_cmd;
+            verify_cmd; measure_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/banking.ml: Array Combin Conflict Core Examples Exec Format List Random Sched Schedule Sim State String System

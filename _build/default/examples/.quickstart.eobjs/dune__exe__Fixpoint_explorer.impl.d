@@ -1,0 +1,1 @@
+examples/fixpoint_explorer.ml: Arg Array Cmd Cmdliner Core Expr Fixpoint Format List Schedule String Syntax System Term Weak_sr

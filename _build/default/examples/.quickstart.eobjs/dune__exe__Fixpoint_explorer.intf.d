@@ -1,0 +1,1 @@
+examples/fixpoint_explorer.mli:

@@ -1,0 +1,1 @@
+examples/lamport_demo.ml: Conflict Core Examples Expr Format Sched Schedule State System

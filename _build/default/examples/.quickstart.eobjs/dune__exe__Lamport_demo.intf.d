@@ -1,0 +1,1 @@
+examples/lamport_demo.mli:

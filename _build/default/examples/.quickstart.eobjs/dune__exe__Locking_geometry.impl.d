@@ -1,0 +1,1 @@
+examples/locking_geometry.ml: Array Combin Conflict Core Examples Format List Locking Names Schedule Syntax

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Conflict Core Format Herbrand List Sched Schedule Sim Syntax

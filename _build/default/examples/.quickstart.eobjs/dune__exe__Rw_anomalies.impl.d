@@ -1,0 +1,1 @@
+examples/rw_anomalies.ml: Array Combin Core Format List Locking Printf Rw_model String

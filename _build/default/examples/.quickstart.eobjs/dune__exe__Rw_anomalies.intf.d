@@ -1,0 +1,1 @@
+examples/rw_anomalies.mli:

@@ -1,0 +1,107 @@
+(* Fixpoint-set explorer: the information-performance trade-off on the
+   command line.
+
+     dune exec examples/fixpoint_explorer.exe -- --syntax "xy,yx"
+     dune exec examples/fixpoint_explorer.exe -- --syntax "xx,x" --probes 9
+
+   The syntax argument lists one transaction per comma-separated group;
+   each character is a variable name. Every schedule of the system is
+   classified into the hierarchy Serial ⊆ SR ⊆ WSR ⊆ C(T) (with
+   increment semantics and a trivial integrity constraint by default,
+   or a range constraint via --bounded). *)
+
+open Core
+
+let parse_syntax spec =
+  let groups = String.split_on_char ',' spec in
+  if groups = [] then invalid_arg "empty syntax";
+  Syntax.of_lists
+    (List.map
+       (fun g -> List.init (String.length g) (fun i -> String.make 1 g.[i]))
+       groups)
+
+let build_system bounded syntax =
+  let fmt = Syntax.format syntax in
+  let interp =
+    Array.map
+      (fun m -> Array.init m (fun j -> Expr.Ast.(Add (Local j, int 1))))
+      fmt
+  in
+  let ic =
+    if bounded then
+      System.Pred
+        (List.fold_left
+           (fun acc v -> Expr.Ast.(And (acc, Le (Global v, int 100))))
+           (Expr.Ast.bool true) (Syntax.vars syntax))
+    else System.Trivial
+  in
+  System.make ~ic syntax interp
+
+let explore spec bounded n_probes verbose =
+  let syntax = parse_syntax spec in
+  let sys = build_system bounded syntax in
+  let fmt = Syntax.format syntax in
+  Format.printf "System:@.%a@.@." System.pp sys;
+  if Schedule.count fmt > 5000 then begin
+    Format.printf "|H| = %d is too large to enumerate; try fewer steps@."
+      (Schedule.count fmt);
+    exit 1
+  end;
+  let probes = Weak_sr.default_probes ~seed:17 ~count:n_probes sys in
+  let sets = Fixpoint.compute sys ~probes in
+  let h, serial, sr, wsr, c = Fixpoint.counts sets in
+  Format.printf "|H|      = %4d@." h;
+  Format.printf "|Serial| = %4d  (%.3f of H)  — optimal for format-only info@."
+    serial (float_of_int serial /. float_of_int h);
+  Format.printf "|SR|     = %4d  (%.3f of H)  — optimal for syntactic info@."
+    sr (float_of_int sr /. float_of_int h);
+  Format.printf "|WSR|    = %4d  (%.3f of H)  — optimal w/o integrity constraints@."
+    wsr (float_of_int wsr /. float_of_int h);
+  Format.printf "|C(T)|   = %4d  (%.3f of H)  — optimal for complete info@."
+    c (float_of_int c /. float_of_int h);
+  Format.printf "chain Serial ⊆ SR ⊆ WSR ⊆ C(T): %b@."
+    (Fixpoint.chain_holds sets);
+  if verbose then begin
+    Format.printf "@.schedules:@.";
+    let mem x l = List.exists (Schedule.equal x) l in
+    List.iter
+      (fun hh ->
+        Format.printf "  %-30s %s%s%s%s@."
+          (Schedule.to_string hh)
+          (if mem hh sets.Fixpoint.serial then "serial " else "")
+          (if mem hh sets.Fixpoint.sr then "SR " else "")
+          (if mem hh sets.Fixpoint.wsr then "WSR " else "")
+          (if mem hh sets.Fixpoint.c then "C" else ""))
+      sets.Fixpoint.h
+  end
+
+open Cmdliner
+
+let syntax_arg =
+  Arg.(
+    value
+    & opt string "xy,yx"
+    & info [ "syntax"; "s" ] ~docv:"SPEC"
+        ~doc:"Transactions as comma-separated variable strings, e.g. xy,yx.")
+
+let bounded_arg =
+  Arg.(
+    value & flag
+    & info [ "bounded" ]
+        ~doc:"Use the integrity constraint v <= 100 for every variable.")
+
+let probes_arg =
+  Arg.(
+    value & opt int 12
+    & info [ "probes" ] ~docv:"N" ~doc:"Number of probe states for WSR/C.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"List every schedule.")
+
+let cmd =
+  let doc = "explore the fixpoint-set hierarchy of a transaction system" in
+  Cmd.v
+    (Cmd.info "fixpoint_explorer" ~doc)
+    Term.(const explore $ syntax_arg $ bounded_arg $ probes_arg $ verbose_arg)
+
+let () = exit (Cmd.eval cmd)

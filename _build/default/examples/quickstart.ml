@@ -1,0 +1,54 @@
+(* Quickstart: model a tiny transaction system, test schedules for
+   serializability, and run an online scheduler over a request stream.
+
+     dune exec examples/quickstart.exe
+*)
+
+open Core
+
+let () =
+  (* Two transactions over a shared variable x and a private variable y:
+       T1: x <- x+1 ; y <- y+x   (reads x into t1, then writes y)
+       T2: x <- 2x
+     Only the syntax matters for serializability. *)
+  let syntax = Syntax.of_lists [ [ "x"; "y" ]; [ "x" ] ] in
+  Format.printf "Transaction system syntax:@.%a@.@." Syntax.pp syntax;
+
+  (* Enumerate the whole schedule space H and classify. *)
+  let fmt = Syntax.format syntax in
+  Format.printf "|H| = %d schedules@.@." (Schedule.count fmt);
+  List.iter
+    (fun h ->
+      Format.printf "%-22s serial:%-5b serializable:%b@."
+        (Schedule.to_string h) (Schedule.is_serial h)
+        (Conflict.serializable syntax h))
+    (Schedule.all fmt);
+
+  (* The Herbrand (symbolic) view of one interleaving. *)
+  let h = Schedule.of_interleaving [| 0; 1; 0 |] in
+  Format.printf "@.Herbrand state of %s:@.  %a@." (Schedule.to_string h)
+    Herbrand.pp_state (Herbrand.run syntax h);
+  (match Herbrand.serialization_witness syntax h with
+  | Some order ->
+    Format.printf "equivalent serial order: T%d before T%d@.@."
+      (order.(0) + 1) (order.(1) + 1)
+  | None -> Format.printf "not serializable@.@.");
+
+  (* Drive the optimal syntactic scheduler (SGT) over a request stream. *)
+  let arrivals = [| 0; 1; 0 |] in
+  let stats =
+    Sched.Driver.run (Sched.Sgt.create ~syntax) ~fmt ~arrivals
+  in
+  Format.printf "SGT over arrivals 0,1,0: output %s, delays %d, zero-delay %b@."
+    (Schedule.to_string stats.Sched.Driver.output)
+    stats.Sched.Driver.delays
+    (Sched.Driver.zero_delay stats);
+
+  (* Compare scheduler performance on this system. *)
+  let rows =
+    Sim.Measure.compare_schedulers
+      (Sim.Measure.standard_suite syntax)
+      ~fmt ~samples:2000 ~seed:1
+  in
+  Format.printf "@.Scheduler comparison (2000 random histories):@.%a"
+    Sim.Measure.pp_rows rows

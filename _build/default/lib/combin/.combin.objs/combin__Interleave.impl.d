@@ -1,0 +1,1 @@
+lib/combin/interleave.ml: Array List Random

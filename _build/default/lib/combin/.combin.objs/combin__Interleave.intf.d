@@ -1,0 +1,1 @@
+lib/combin/interleave.mli: Random

@@ -1,0 +1,1 @@
+lib/combin/perm.ml: Array List Random

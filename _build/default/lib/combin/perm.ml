@@ -1,0 +1,126 @@
+let factorial n =
+  if n < 0 then invalid_arg "Perm.factorial: negative";
+  if n > 20 then invalid_arg "Perm.factorial: would overflow";
+  let rec go acc k = if k <= 1 then acc else go (acc * k) (k - 1) in
+  go 1 n
+
+(* Advance [a] to the next lexicographic permutation in place.
+   Returns [false] when [a] was the last one. *)
+let next_in_place a =
+  let n = Array.length a in
+  let rec pivot i =
+    if i < 0 then -1 else if a.(i) < a.(i + 1) then i else pivot (i - 1)
+  in
+  let i = pivot (n - 2) in
+  if i < 0 then false
+  else begin
+    let rec successor j = if a.(j) > a.(i) then j else successor (j - 1) in
+    let j = successor (n - 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp;
+    (* reverse the suffix after i *)
+    let lo = ref (i + 1) and hi = ref (n - 1) in
+    while !lo < !hi do
+      let t = a.(!lo) in
+      a.(!lo) <- a.(!hi);
+      a.(!hi) <- t;
+      incr lo;
+      decr hi
+    done;
+    true
+  end
+
+let iter n f =
+  if n < 0 then invalid_arg "Perm.iter: negative";
+  let a = Array.init n (fun i -> i) in
+  let continue = ref true in
+  while !continue do
+    f a;
+    continue := next_in_place a
+  done
+
+let all n =
+  if n > 10 then invalid_arg "Perm.all: too large";
+  let acc = ref [] in
+  iter n (fun a -> acc := Array.copy a :: !acc);
+  List.rev !acc
+
+exception Found
+
+let exists n p =
+  let a = Array.init n (fun i -> i) in
+  try
+    let continue = ref true in
+    while !continue do
+      if p a then raise Found;
+      continue := next_in_place a
+    done;
+    false
+  with Found -> true
+
+let rank p =
+  let n = Array.length p in
+  let used = Array.make n false in
+  let r = ref 0 in
+  for i = 0 to n - 1 do
+    let smaller = ref 0 in
+    for v = 0 to p.(i) - 1 do
+      if not used.(v) then incr smaller
+    done;
+    r := !r + (!smaller * factorial (n - 1 - i));
+    used.(p.(i)) <- true
+  done;
+  !r
+
+let unrank n r =
+  if r < 0 || (n <= 20 && r >= factorial n) then
+    invalid_arg "Perm.unrank: rank out of range";
+  let avail = Array.init n (fun i -> i) in
+  let remove k =
+    (* remove and return the k-th remaining element *)
+    let v = avail.(k) in
+    Array.blit avail (k + 1) avail k (n - k - 1);
+    v
+  in
+  let p = Array.make n 0 in
+  let r = ref r in
+  for i = 0 to n - 1 do
+    let f = factorial (n - 1 - i) in
+    let k = !r / f in
+    r := !r mod f;
+    p.(i) <- remove k
+  done;
+  p
+
+let random st n =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let is_permutation a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  try
+    Array.iter
+      (fun v ->
+        if v < 0 || v >= n || seen.(v) then raise Exit;
+        seen.(v) <- true)
+      a;
+    true
+  with Exit -> false
+
+let inverse p =
+  let n = Array.length p in
+  let q = Array.make n 0 in
+  for i = 0 to n - 1 do
+    q.(p.(i)) <- i
+  done;
+  q
+
+let apply p a = Array.map (fun i -> a.(i)) p

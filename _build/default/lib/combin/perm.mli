@@ -1,0 +1,46 @@
+(** Permutations of [0 .. n-1].
+
+    Used to enumerate serial orders of transactions (the [n!] serial
+    schedules a serialization test must compare against) and as a building
+    block for schedule enumeration. *)
+
+val factorial : int -> int
+(** [factorial n] is [n!]. Raises [Invalid_argument] if [n < 0] or the
+    result would overflow a 63-bit integer ([n > 20]). *)
+
+val all : int -> int array list
+(** [all n] enumerates every permutation of [0 .. n-1], in lexicographic
+    order. [all 0] is [[ [||] ]]. Intended for small [n]; raises
+    [Invalid_argument] for [n > 10]. *)
+
+val iter : int -> (int array -> unit) -> unit
+(** [iter n f] applies [f] to each permutation of [0 .. n-1] in
+    lexicographic order. The array passed to [f] is reused between calls;
+    copy it if you keep it. *)
+
+val exists : int -> (int array -> bool) -> bool
+(** [exists n p] is [true] iff some permutation of [0 .. n-1] satisfies
+    [p]. Short-circuits. The array is reused; do not retain it. *)
+
+val rank : int array -> int
+(** [rank p] is the lexicographic index of permutation [p] among all
+    permutations of its length. Inverse of {!unrank}. *)
+
+val unrank : int -> int -> int array
+(** [unrank n r] is the [r]-th (0-based, lexicographic) permutation of
+    [0 .. n-1]. Raises [Invalid_argument] if [r] is out of range. *)
+
+val random : Random.State.t -> int -> int array
+(** [random st n] draws a uniformly random permutation of [0 .. n-1]
+    (Fisher–Yates). *)
+
+val is_permutation : int array -> bool
+(** [is_permutation a] checks that [a] contains each of [0 .. n-1]
+    exactly once. *)
+
+val inverse : int array -> int array
+(** [inverse p] is the inverse permutation: [inverse p].(p.(i)) = i. *)
+
+val apply : int array -> 'a array -> 'a array
+(** [apply p a] permutes [a] so that element [i] of the result is
+    [a.(p.(i))]. *)

@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Array Exec Expr Herbrand List Names Set State Syntax System

@@ -1,0 +1,1 @@
+lib/core/adversary.mli: Herbrand Names Schedule State Syntax System

@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Array Digraph Hashtbl List Names Syntax

@@ -1,0 +1,1 @@
+lib/core/equivalence.ml: Array Hashtbl List Names Queue Schedule String Syntax

@@ -1,0 +1,1 @@
+lib/core/examples.ml: Array Expr Names State Syntax System

@@ -1,0 +1,1 @@
+lib/core/exec.ml: Array Expr List Names Printf State Syntax System

@@ -1,0 +1,1 @@
+lib/core/exec.mli: Expr Names Schedule State System

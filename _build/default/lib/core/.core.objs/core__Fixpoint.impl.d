@@ -1,0 +1,1 @@
+lib/core/fixpoint.ml: Conflict Exec List Schedule Syntax System Weak_sr

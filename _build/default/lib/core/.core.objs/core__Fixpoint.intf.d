@@ -1,0 +1,1 @@
+lib/core/fixpoint.mli: Schedule State Syntax System

@@ -1,0 +1,1 @@
+lib/core/herbrand.ml: Array Combin Format List Names Printf Schedule String Syntax

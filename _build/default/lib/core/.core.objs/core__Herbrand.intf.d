@@ -1,0 +1,1 @@
+lib/core/herbrand.mli: Format Names Schedule Syntax

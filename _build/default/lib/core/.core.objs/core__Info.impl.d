@@ -1,0 +1,1 @@
+lib/core/info.ml: Exec Expr Fixpoint Format List Schedule String Syntax System Weak_sr

@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Array Format Hashtbl List Names Rw_model

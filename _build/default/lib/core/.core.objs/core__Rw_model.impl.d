@@ -1,0 +1,1 @@
+lib/core/rw_model.ml: Array Combin Digraph Format Fun Hashtbl Int List Names String

@@ -1,0 +1,1 @@
+lib/core/rw_model.mli: Format Names

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Combin Format Int List Names

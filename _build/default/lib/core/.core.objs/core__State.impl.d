@@ -1,0 +1,1 @@
+lib/core/state.ml: Expr Format List Names

@@ -1,0 +1,1 @@
+lib/core/state.mli: Expr Format Names Random

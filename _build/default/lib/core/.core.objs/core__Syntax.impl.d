@@ -1,0 +1,1 @@
+lib/core/syntax.ml: Array Format Int List Names String

@@ -1,0 +1,1 @@
+lib/core/system.ml: Array Expr Format List Names Printf State Syntax

@@ -1,0 +1,1 @@
+lib/core/system.mli: Expr Format Names State Syntax

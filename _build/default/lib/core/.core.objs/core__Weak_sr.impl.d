@@ -1,0 +1,1 @@
+lib/core/weak_sr.ml: Exec Expr List Map Random State System

@@ -1,0 +1,1 @@
+lib/core/weak_sr.mli: Schedule State System

@@ -1,0 +1,26 @@
+let graph_of_prefix syntax h k =
+  let n = Syntax.n_transactions syntax in
+  let g = Digraph.create n in
+  (* last_writers v = transactions having already accessed v, in order *)
+  let tbl : (Names.var, int list) Hashtbl.t = Hashtbl.create 16 in
+  for pos = 0 to k - 1 do
+    let id = h.(pos) in
+    let v = Syntax.var syntax id in
+    let earlier = try Hashtbl.find tbl v with Not_found -> [] in
+    List.iter
+      (fun tx -> if tx <> id.Names.tx then Digraph.add_edge g tx id.Names.tx)
+      earlier;
+    Hashtbl.replace tbl v (id.Names.tx :: earlier)
+  done;
+  g
+
+let graph syntax h = graph_of_prefix syntax h (Array.length h)
+
+let serializable syntax h = not (Digraph.has_cycle (graph syntax h))
+
+let serialization_orders syntax h = Digraph.topological_sort (graph syntax h)
+
+let prefix_serializable syntax h k =
+  not (Digraph.has_cycle (graph_of_prefix syntax h k))
+
+let first_cycle syntax h = Digraph.find_cycle (graph syntax h)

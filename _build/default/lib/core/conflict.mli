@@ -1,0 +1,34 @@
+(** Conflict (serialization) graphs and the polynomial serializability
+    test.
+
+    In the paper's step model every step is an atomic read-modify-write
+    of one variable, so any two steps of different transactions on the
+    same variable conflict, and the order between them is observable
+    under the Herbrand semantics. The {b conflict graph} of a schedule
+    has an edge [T_i → T_k] whenever some step of [T_i] precedes a step
+    of [T_k] on the same variable.
+
+    Because the model has no blind writes (every write reads) and no dead
+    writes (every value written either survives or is read by the next
+    step on that variable), final-state, view and conflict
+    serializability all coincide here; acyclicity of the conflict graph
+    decides [SR(T)] in polynomial time. This equivalence is
+    cross-validated against the brute-force Herbrand test in the test
+    suite and benchmarked in bench P4. *)
+
+val graph : Syntax.t -> Schedule.t -> Digraph.t
+(** Conflict graph over transaction indices. *)
+
+val serializable : Syntax.t -> Schedule.t -> bool
+(** [true] iff the conflict graph is acyclic. *)
+
+val serialization_orders : Syntax.t -> Schedule.t -> int array option
+(** A topological order of the conflict graph — an equivalent serial
+    execution order — or [None] if cyclic. *)
+
+val prefix_serializable : Syntax.t -> Schedule.t -> int -> bool
+(** Whether the first [k] steps form a conflict-serializable partial
+    schedule (used by the SGT scheduler: [CSR] is prefix-closed). *)
+
+val first_cycle : Syntax.t -> Schedule.t -> int list option
+(** The transactions of some cycle in the conflict graph, if any. *)

@@ -1,0 +1,73 @@
+let swappable syntax h k =
+  k >= 0
+  && k + 1 < Array.length h
+  && h.(k).Names.tx <> h.(k + 1).Names.tx
+  && not (String.equal (Syntax.var syntax h.(k)) (Syntax.var syntax h.(k + 1)))
+
+let swap h k =
+  let h' = Array.copy h in
+  h'.(k) <- h.(k + 1);
+  h'.(k + 1) <- h.(k);
+  h'
+
+let neighbours syntax h =
+  let acc = ref [] in
+  for k = Array.length h - 2 downto 0 do
+    if swappable syntax h k then acc := swap h k :: !acc
+  done;
+  !acc
+
+let connected syntax h h' =
+  if Schedule.equal h h' then true
+  else begin
+    let visited = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    Hashtbl.add visited h ();
+    Queue.add h queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let current = Queue.pop queue in
+      List.iter
+        (fun next ->
+          if not (Hashtbl.mem visited next) then begin
+            if Schedule.equal next h' then found := true;
+            Hashtbl.add visited next ();
+            Queue.add next queue
+          end)
+        (neighbours syntax current)
+    done;
+    !found
+  end
+
+let classes syntax =
+  let all = Schedule.all (Syntax.format syntax) in
+  let assigned = Hashtbl.create 64 in
+  List.filter_map
+    (fun h ->
+      if Hashtbl.mem assigned h then None
+      else begin
+        (* flood the class *)
+        let members = ref [] in
+        let queue = Queue.create () in
+        Hashtbl.add assigned h ();
+        Queue.add h queue;
+        while not (Queue.is_empty queue) do
+          let current = Queue.pop queue in
+          members := current :: !members;
+          List.iter
+            (fun next ->
+              if not (Hashtbl.mem assigned next) then begin
+                Hashtbl.add assigned next ();
+                Queue.add next queue
+              end)
+            (neighbours syntax current)
+        done;
+        Some (List.rev !members)
+      end)
+    all
+
+let class_count syntax = List.length (classes syntax)
+
+let serializable_classes syntax =
+  List.length
+    (List.filter (fun cls -> List.exists Schedule.is_serial cls) (classes syntax))

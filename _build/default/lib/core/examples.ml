@@ -1,0 +1,77 @@
+open Expr.Ast
+
+let banking =
+  let syntax =
+    Syntax.of_lists [ [ "A"; "B"; "A" ]; [ "B"; "C" ]; [ "A"; "B"; "S"; "C" ] ]
+  in
+  let transfer_guard = And (ge (Local 0) (int 100), Lt (Local 1, int 100)) in
+  let withdraw_guard = ge (Local 0) (int 50) in
+  let interp =
+    [|
+      (* T1: transfer $100 from A to B if A >= 100 and B < 100 *)
+      [|
+        Local 0;                                        (* phi11: read A *)
+        If (transfer_guard, Add (Local 1, int 100), Local 1);  (* phi12: B *)
+        If (transfer_guard, Sub (Local 0, int 100), Local 2);  (* phi13: A *)
+      |];
+      (* T2: withdraw $50 from B if covered; count it in C *)
+      [|
+        If (withdraw_guard, Sub (Local 0, int 50), Local 0);   (* phi21: B *)
+        If (withdraw_guard, Add (Local 1, int 1), Local 1);    (* phi22: C *)
+      |];
+      (* T3: audit S <- A + B; reset C *)
+      [|
+        Local 0;                                        (* phi31: read A *)
+        Local 1;                                        (* phi32: read B *)
+        Add (Local 0, Local 1);                         (* phi33: S *)
+        int 0;                                          (* phi34: C *)
+      |];
+    |]
+  in
+  let ic =
+    System.Pred
+      (And
+         ( And (ge (Global "A") (int 0), ge (Global "B") (int 0)),
+           Eq
+             ( Global "S",
+               Add (Add (Global "A", Global "B"), Mul (int 50, Global "C")) )
+         ))
+  in
+  System.make ~ic syntax interp
+
+let banking_initial =
+  State.of_ints [ ("A", 150); ("B", 50); ("S", 200); ("C", 0) ]
+
+let fig1 =
+  let syntax = Syntax.of_lists [ [ "x"; "x" ]; [ "x" ] ] in
+  let interp =
+    [|
+      [| Add (Local 0, int 1); Mul (int 2, Local 1) |];
+      [| Add (Local 0, int 1) |];
+    |]
+  in
+  System.make syntax interp
+
+let fig1_history =
+  [| Names.step 0 0; Names.step 1 0; Names.step 0 1 |]
+
+let fig2_transaction = [ "x"; "y"; "x"; "z" ]
+
+let fig3_pair = Syntax.of_lists [ [ "x"; "y" ]; [ "x"; "y" ] ]
+
+let two_counters =
+  let syntax = Syntax.of_lists [ [ "x"; "x" ]; [ "x"; "y" ] ] in
+  let interp =
+    [|
+      [| Add (Local 0, int 1); Add (Local 1, int 1) |];
+      [| Local 0; Add (Local 0, Local 1) |];
+    |]
+  in
+  System.make syntax interp
+
+let indep =
+  Syntax.of_lists [ [ "a"; "a" ]; [ "b"; "b" ]; [ "c"; "c" ] ]
+
+let hot_spot n m =
+  if n <= 0 || m <= 0 then invalid_arg "Examples.hot_spot";
+  Syntax.make (Array.make n (Array.make m "x"))

@@ -1,0 +1,44 @@
+(** The paper's worked examples, as ready-made systems.
+
+    These are referenced throughout the tests, the example programs and
+    the benchmark harness (experiment ids E1, F1–F5 of DESIGN.md). *)
+
+val banking : System.t
+(** The Section 2 example: [T1] transfers $100 from [A] to [B] when [A]
+    has enough funds and [B] is below $100; [T2] withdraws $50 from [B]
+    (if covered) and increments the counter [C]; [T3] audits [S ← A+B]
+    and resets [C]. Integrity constraints:
+    [A ≥ 0 ∧ B ≥ 0 ∧ S = A + B + 50·C] (the paper's linear invariant —
+    its text garbles the sign; this is the variant the example's own
+    states satisfy). Format [(3, 2, 4)]. *)
+
+val banking_initial : State.t
+(** The paper's initial state [(A,B,S,C) = (150, 50, 200, 0)]. *)
+
+val fig1 : System.t
+(** Figure 1: [T11: x ← x+1; T12: x ← 2x] and [T21: x ← x+1], trivial
+    IC. The history [(T11, T21, T12)] is not serializable but reaches
+    the same state as the serial history [(T21, T11, T12)]. *)
+
+val fig1_history : Schedule.t
+(** [(T11, T21, T12)]. *)
+
+val fig2_transaction : Names.var list
+(** Figure 2's single transaction's access list: [x; y; x; z]. *)
+
+val fig3_pair : Syntax.t
+(** Two transactions suited to the Figure 3 progress-space picture: both
+    access [x] then [y] (each twice), creating the two forbidden blocks
+    [Bx], [By] and a deadlock region under 2PL. *)
+
+val two_counters : System.t
+(** A small semantic playground: [T1] increments [x] twice; [T2] adds
+    [x] into [y]. Used by tests for WSR/SR separations. *)
+
+val indep : Syntax.t
+(** Three transactions on pairwise disjoint variables — everything is
+    serializable; the other extreme from a single hot spot. *)
+
+val hot_spot : int -> int -> Syntax.t
+(** [hot_spot n m]: [n] transactions of [m] steps, all on one variable
+    — the maximally conflicting syntax. *)

@@ -1,0 +1,42 @@
+type sets = {
+  h : Schedule.t list;
+  serial : Schedule.t list;
+  sr : Schedule.t list;
+  wsr : Schedule.t list;
+  c : Schedule.t list;
+}
+
+let compute ?max_len ?max_states sys ~probes =
+  let fmt = System.format sys in
+  let syntax = sys.System.syntax in
+  let h = Schedule.all fmt in
+  let serial = List.filter Schedule.is_serial h in
+  let sr = List.filter (Conflict.serializable syntax) h in
+  let wsr =
+    List.filter
+      (Weak_sr.is_weakly_serializable ?max_len ?max_states sys ~probes)
+      h
+  in
+  let c = List.filter (Exec.correct_schedule sys ~probes) h in
+  { h; serial; sr; wsr; c }
+
+let counts s =
+  ( List.length s.h,
+    List.length s.serial,
+    List.length s.sr,
+    List.length s.wsr,
+    List.length s.c )
+
+let subset a b = List.for_all (fun x -> List.exists (Schedule.equal x) b) a
+
+let chain_holds s =
+  subset s.serial s.sr && subset s.sr s.wsr && subset s.wsr s.c
+  && subset s.c s.h
+
+let sr_only syntax =
+  List.filter (Conflict.serializable syntax) (Schedule.all (Syntax.format syntax))
+
+let serial_only fmt = List.filter Schedule.is_serial (Schedule.all fmt)
+
+let zero_delay_ratio p fmt =
+  float_of_int (List.length p) /. float_of_int (Schedule.count fmt)

@@ -1,0 +1,45 @@
+(** Fixpoint sets and the information–performance trade-off (Section 3).
+
+    The performance of a scheduler is measured by its fixpoint set [P]:
+    the schedules it passes with no delay. This module computes, for
+    small systems by exhaustive enumeration of [H], the fixpoint sets of
+    the optimal schedulers at each information level of Section 4:
+
+    - [Serial(T)]  — minimum information (format only), Theorem 2;
+    - [SR(T)]      — complete syntactic information, Theorem 3;
+    - [WSR(T)]     — everything but the integrity constraints, Theorem 4;
+    - [C(T)]       — maximum information.
+
+    All sets are represented as lists of schedules in the (deterministic)
+    enumeration order of [H]. *)
+
+type sets = {
+  h : Schedule.t list;       (** all schedules *)
+  serial : Schedule.t list;
+  sr : Schedule.t list;      (** via the conflict-graph test *)
+  wsr : Schedule.t list;     (** bounded, on the given probes *)
+  c : Schedule.t list;       (** bounded, on the given probes *)
+}
+
+val compute :
+  ?max_len:int -> ?max_states:int -> System.t -> probes:State.t list -> sets
+(** Exhaustively classify every schedule. Requires a small format
+    (|H| ≤ 2_000_000 by {!Combin.Interleave.all}'s guard; in practice
+    keep |H| within a few thousand when probes are many). *)
+
+val counts : sets -> int * int * int * int * int
+(** [(|H|, |Serial|, |SR|, |WSR|, |C|)]. *)
+
+val chain_holds : sets -> bool
+(** The hierarchy [Serial ⊆ SR ⊆ WSR ⊆ C ⊆ H] as set inclusions. *)
+
+val subset : Schedule.t list -> Schedule.t list -> bool
+
+val sr_only : Syntax.t -> Schedule.t list
+(** Just [SR(T)] (syntactic — needs no semantics), by the conflict test. *)
+
+val serial_only : int array -> Schedule.t list
+
+val zero_delay_ratio : Schedule.t list -> int array -> float
+(** [|P| / |H|] — the Section 6 probability that a uniformly random
+    request history is passed without any delay. *)

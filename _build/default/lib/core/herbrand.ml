@@ -1,0 +1,96 @@
+type term =
+  | Init of Names.var
+  | App of Names.step_id * term list
+
+let rec equal_term a b =
+  match a, b with
+  | Init v, Init w -> String.equal v w
+  | App (s, args), App (s', args') ->
+    Names.equal_step s s' && List.equal equal_term args args'
+  | (Init _ | App _), _ -> false
+
+let rec compare_term a b =
+  match a, b with
+  | Init v, Init w -> String.compare v w
+  | Init _, App _ -> -1
+  | App _, Init _ -> 1
+  | App (s, args), App (s', args') -> (
+    match Names.compare_step s s' with
+    | 0 -> List.compare compare_term args args'
+    | c -> c)
+
+let rec pp_term ppf = function
+  | Init v -> Format.fprintf ppf "%s0" v
+  | App (s, args) ->
+    Format.fprintf ppf "f%s(%a)"
+      (let open Names in
+       Printf.sprintf "%d%d" (s.tx + 1) (s.idx + 1))
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         pp_term)
+      args
+
+let term_to_string t = Format.asprintf "%a" pp_term t
+
+let rec term_size = function
+  | Init _ -> 1
+  | App (_, args) -> List.fold_left (fun n t -> n + term_size t) 1 args
+
+type hstate = term Names.Vmap.t
+
+let initial syntax =
+  List.fold_left
+    (fun m v -> Names.Vmap.add v (Init v) m)
+    Names.Vmap.empty (Syntax.vars syntax)
+
+let exec_step syntax (g, locals) (id : Names.step_id) =
+  let x = Syntax.var syntax id in
+  let read = Names.Vmap.find x g in
+  let locals = Array.copy locals in
+  locals.(id.tx) <- Array.copy locals.(id.tx);
+  locals.(id.tx).(id.idx) <- Some read;
+  let args =
+    List.init (id.idx + 1) (fun k ->
+        match locals.(id.tx).(k) with
+        | Some t -> t
+        | None -> invalid_arg "Herbrand.exec_step: illegal schedule")
+  in
+  (Names.Vmap.add x (App (id, args)) g, locals)
+
+let run syntax h =
+  let fmt = Syntax.format syntax in
+  let locals = Array.map (fun m -> Array.make m None) fmt in
+  let st = (initial syntax, locals) in
+  fst (Array.fold_left (exec_step syntax) st h)
+
+let equal_state = Names.Vmap.equal equal_term
+
+let serialization_witness syntax h =
+  let fmt = Syntax.format syntax in
+  let n = Array.length fmt in
+  let target = run syntax h in
+  let found = ref None in
+  (try
+     Combin.Perm.iter n (fun order ->
+         let serial = Schedule.serial fmt order in
+         if equal_state (run syntax serial) target then begin
+           found := Some (Array.copy order);
+           raise Exit
+         end)
+   with Exit -> ());
+  !found
+
+let serializable syntax h = serialization_witness syntax h <> None
+
+let equivalent syntax h h' = equal_state (run syntax h) (run syntax h')
+
+let pp_state ppf g =
+  Format.fprintf ppf "{";
+  let first = ref true in
+  Names.Vmap.iter
+    (fun v t ->
+      if not !first then Format.fprintf ppf ", ";
+      first := false;
+      Format.fprintf ppf "%s=%a" v pp_term t)
+    g;
+  Format.fprintf ppf "}"

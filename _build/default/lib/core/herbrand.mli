@@ -1,0 +1,53 @@
+(** Herbrand (symbolic) semantics — Section 4.2.
+
+    Under the Herbrand interpretation, the value written by step [T_ij]
+    is the uninterpreted term [f_ij(a_1, ..., a_j)] where [a_k] is the
+    term read by the transaction's [k]-th step. Terms capture the entire
+    history of every global variable, so two schedules have the same
+    execution results under {e every} interpretation iff they have the
+    same final Herbrand state (Herbrand's theorem, [Manna 74]).
+
+    A schedule is {b serializable} ([∈ SR(T)]) iff its final Herbrand
+    state equals that of some serial schedule. *)
+
+type term =
+  | Init of Names.var  (** the initial value of a variable *)
+  | App of Names.step_id * term list
+      (** [f_ij] applied to the terms read so far by transaction [i] *)
+
+val equal_term : term -> term -> bool
+val compare_term : term -> term -> int
+val pp_term : Format.formatter -> term -> unit
+val term_to_string : term -> string
+val term_size : term -> int
+
+type hstate = term Names.Vmap.t
+(** Symbolic global state: every variable's current term. *)
+
+val initial : Syntax.t -> hstate
+
+val exec_step : Syntax.t -> hstate * term option array array -> Names.step_id ->
+  hstate * term option array array
+(** Low-level: execute one step symbolically. The second component holds
+    the local terms declared so far ([t_ij]). *)
+
+val run : Syntax.t -> Schedule.t -> hstate
+(** Final Herbrand state of a schedule (started from {!initial}). The
+    schedule must be legal (per-transaction order); this is {e not}
+    re-checked here. *)
+
+val equal_state : hstate -> hstate -> bool
+
+val serializable : Syntax.t -> Schedule.t -> bool
+(** Membership in [SR(T)]: brute-force comparison against all [n!]
+    serial schedules. Exponential by definition; see {!Conflict} for the
+    polynomial test (provably equivalent in this step model). *)
+
+val serialization_witness : Syntax.t -> Schedule.t -> int array option
+(** [Some order] gives a serial transaction order with the same final
+    Herbrand state, if one exists. *)
+
+val equivalent : Syntax.t -> Schedule.t -> Schedule.t -> bool
+(** Herbrand equivalence of two schedules of the same system. *)
+
+val pp_state : Format.formatter -> hstate -> unit

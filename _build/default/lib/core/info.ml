@@ -1,0 +1,64 @@
+type level =
+  | Format_only
+  | Syntactic
+  | Semantic_no_ic
+  | Complete
+
+let all_levels = [ Format_only; Syntactic; Semantic_no_ic; Complete ]
+
+let index = function
+  | Format_only -> 0
+  | Syntactic -> 1
+  | Semantic_no_ic -> 2
+  | Complete -> 3
+
+let leq a b = index a <= index b
+
+let same_ic a b =
+  match a, b with
+  | System.Trivial, System.Trivial -> true
+  | System.Pred e, System.Pred e' -> Expr.Ast.equal e e'
+  | System.Sat (n, _), System.Sat (n', _) -> String.equal n n'
+  | (System.Trivial | System.Pred _ | System.Sat _), _ -> false
+
+let same_class level (a : System.t) (b : System.t) =
+  match level with
+  | Format_only -> System.format a = System.format b
+  | Syntactic -> Syntax.equal a.syntax b.syntax
+  | Semantic_no_ic ->
+    Syntax.equal a.syntax b.syntax
+    && a.interp = b.interp
+    && a.domains = b.domains
+  | Complete ->
+    Syntax.equal a.syntax b.syntax
+    && a.interp = b.interp
+    && a.domains = b.domains
+    && same_ic a.ic b.ic
+
+let optimal_fixpoint ?max_len ?max_states sys ~probes = function
+  | Format_only -> Fixpoint.serial_only (System.format sys)
+  | Syntactic -> Fixpoint.sr_only sys.System.syntax
+  | Semantic_no_ic ->
+    List.filter
+      (Weak_sr.is_weakly_serializable ?max_len ?max_states sys ~probes)
+      (Schedule.all (System.format sys))
+  | Complete ->
+    List.filter
+      (Exec.correct_schedule sys ~probes)
+      (Schedule.all (System.format sys))
+
+let monotone ?max_len ?max_states sys ~probes =
+  let fp = optimal_fixpoint ?max_len ?max_states sys ~probes in
+  let rec pairs = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> Fixpoint.subset (fp a) (fp b) && pairs rest
+  in
+  pairs all_levels
+
+let pp_level ppf l =
+  Format.pp_print_string ppf
+    (match l with
+    | Format_only -> "format-only"
+    | Syntactic -> "syntactic"
+    | Semantic_no_ic -> "semantic-no-IC"
+    | Complete -> "complete")

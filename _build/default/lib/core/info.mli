@@ -1,0 +1,44 @@
+(** Information levels and the induced partial orders (Section 3.3).
+
+    A level of information about a transaction system [T] is the set of
+    systems that [T] cannot be distinguished from — equivalently, a
+    projection [I(·)] with [I = {T' : I(T') = I(T)}]. This module fixes
+    the four levels studied in Section 4 and maps each to the fixpoint
+    set of its optimal scheduler, realising the paper's isomorphism
+    between the information order and the performance order. *)
+
+type level =
+  | Format_only
+      (** minimum information: only [(m_1, ..., m_n)] is known *)
+  | Syntactic
+      (** the syntax is known; semantics and IC are not *)
+  | Semantic_no_ic
+      (** syntax and interpretations known; IC unknown *)
+  | Complete  (** the singleton level [{T}] *)
+
+val all_levels : level list
+(** In increasing order of information. *)
+
+val leq : level -> level -> bool
+(** [leq a b]: level [a] conveys at most the information of [b]
+    (i.e. the set [I_a ⊇ I_b]). Total here, as the four levels form a
+    chain. *)
+
+val same_class : level -> System.t -> System.t -> bool
+(** Whether two systems are indistinguishable at a level: equal formats,
+    equal syntaxes, equal syntax+interpretations, or equal systems
+    respectively. ([Complete] compares everything except [Sat] closures,
+    which compare by name.) *)
+
+val optimal_fixpoint :
+  ?max_len:int -> ?max_states:int -> System.t -> probes:State.t list ->
+  level -> Schedule.t list
+(** The fixpoint set of the optimal scheduler at a level, per Theorems
+    2–4 and the maximum-information case. Exhaustive; small formats. *)
+
+val monotone :
+  ?max_len:int -> ?max_states:int -> System.t -> probes:State.t list -> bool
+(** The fundamental trade-off, checked exhaustively: if [a ≤ b] then
+    [optimal_fixpoint a ⊆ optimal_fixpoint b]. *)
+
+val pp_level : Format.formatter -> level -> unit

@@ -1,0 +1,21 @@
+type var = string
+
+type step_id = { tx : int; idx : int }
+
+let step tx idx =
+  if tx < 0 || idx < 0 then invalid_arg "Names.step: negative index";
+  { tx; idx }
+
+let compare_step a b =
+  match Int.compare a.tx b.tx with 0 -> Int.compare a.idx b.idx | c -> c
+
+let equal_step a b = a.tx = b.tx && a.idx = b.idx
+
+let pp_step ppf { tx; idx } =
+  if tx < 9 && idx < 9 then Format.fprintf ppf "T%d%d" (tx + 1) (idx + 1)
+  else Format.fprintf ppf "T(%d,%d)" (tx + 1) (idx + 1)
+
+let step_to_string s = Format.asprintf "%a" pp_step s
+
+module Vmap = Map.Make (String)
+module Vset = Set.Make (String)

@@ -1,0 +1,27 @@
+(** Naming of variables and transaction steps.
+
+    A transaction system has transactions [T_1 .. T_n]; transaction [T_i]
+    has steps [T_i1 .. T_im_i]. Internally both indices are 0-based; the
+    printers use the paper's 1-based convention ([T23] is the third step
+    of the second transaction). *)
+
+type var = string
+(** A global variable name ("A", "x", ...). *)
+
+type step_id = { tx : int; idx : int }
+(** Step [idx] (0-based) of transaction [tx] (0-based). *)
+
+val step : int -> int -> step_id
+(** [step tx idx] builds a step id. *)
+
+val compare_step : step_id -> step_id -> int
+val equal_step : step_id -> step_id -> bool
+
+val pp_step : Format.formatter -> step_id -> unit
+(** Prints [T{tx+1}{idx+1}], e.g. [T11]. For indices beyond 9 the two
+    numbers are comma-separated: [T(10,3)]. *)
+
+val step_to_string : step_id -> string
+
+module Vmap : Map.S with type key = var
+module Vset : Set.S with type elt = var

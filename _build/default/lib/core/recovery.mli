@@ -1,0 +1,43 @@
+(** Recoverability of read/write histories — the [Gray 78] dimension the
+    paper cites among the reasons a scheduler may be kept at an
+    imperfect information level.
+
+    Histories here extend {!Rw_model} with terminal events: each
+    transaction either commits or aborts at some point after its last
+    data action. The classical hierarchy of safety classes is
+
+    - {b RC} (recoverable): a reader commits only after every
+      transaction it read from has committed;
+    - {b ACA} (avoids cascading aborts): reads only from committed
+      transactions;
+    - {b ST} (strict): no read {e or overwrite} of a value written by an
+      uncommitted transaction;
+
+    with [ST ⊆ ACA ⊆ RC] (strict inclusions witnessed in the tests).
+    Holding exclusive locks to the end — strict 2PL — produces exactly
+    strict histories, which is why real systems prefer it over the
+    "as early as possible" release rule of the paper's canonical 2PL. *)
+
+type event =
+  | Act of Rw_model.step
+  | Commit of int
+  | Abort of int
+
+type history = event array
+
+val of_rw : ?aborts:int list -> Rw_model.history -> history
+(** Append terminal events: every transaction commits (or aborts, if
+    listed) right after the whole data history, in transaction order. *)
+
+val well_formed : int -> history -> bool
+(** Each transaction has exactly one terminal event, placed after all
+    its actions. *)
+
+val recoverable : int -> history -> bool
+val avoids_cascading_aborts : int -> history -> bool
+val strict : int -> history -> bool
+
+val classify : int -> history -> string
+(** ["ST"], ["ACA"], ["RC"] (the strongest class that holds) or ["-"]. *)
+
+val pp : Format.formatter -> history -> unit

@@ -1,0 +1,79 @@
+type t = Names.step_id array
+
+let of_interleaving il =
+  let max_tx = Array.fold_left max (-1) il in
+  let next = Array.make (max_tx + 1) 0 in
+  Array.map
+    (fun tx ->
+      let idx = next.(tx) in
+      next.(tx) <- idx + 1;
+      Names.step tx idx)
+    il
+
+let to_interleaving h = Array.map (fun (s : Names.step_id) -> s.tx) h
+
+let is_schedule_of fmt h =
+  let n = Array.length fmt in
+  let next = Array.make n 0 in
+  try
+    Array.iter
+      (fun (s : Names.step_id) ->
+        if s.tx < 0 || s.tx >= n then raise Exit;
+        if s.idx <> next.(s.tx) then raise Exit;
+        next.(s.tx) <- s.idx + 1)
+      h;
+    next = fmt
+  with Exit -> false
+
+let serial fmt order = of_interleaving (Combin.Interleave.serial fmt order)
+
+let serial_order h =
+  (* scan maximal runs of equal transaction index; serial iff each
+     transaction appears in exactly one run *)
+  let len = Array.length h in
+  if len = 0 then Some [||]
+  else begin
+    let runs = ref [] in
+    let current = ref h.(0).Names.tx in
+    runs := [ !current ];
+    for k = 1 to len - 1 do
+      let tx = h.(k).Names.tx in
+      if tx <> !current then begin
+        current := tx;
+        runs := tx :: !runs
+      end
+    done;
+    let order = List.rev !runs in
+    let sorted = List.sort_uniq Int.compare order in
+    if List.length sorted = List.length order then Some (Array.of_list order)
+    else None
+  end
+
+let is_serial h = serial_order h <> None
+
+let all fmt = List.map of_interleaving (Combin.Interleave.all fmt)
+
+let all_serial fmt =
+  let n = Array.length fmt in
+  List.map (fun order -> serial fmt order) (Combin.Perm.all n)
+
+let count = Combin.Interleave.count
+
+let random st fmt = of_interleaving (Combin.Interleave.random st fmt)
+
+let positions h = Array.to_list (Array.mapi (fun k s -> (s, k)) h)
+
+let prefix h k = Array.sub h 0 k
+
+let equal a b = a = b
+
+let pp ppf h =
+  Format.fprintf ppf "(";
+  Array.iteri
+    (fun k s ->
+      if k > 0 then Format.fprintf ppf ", ";
+      Names.pp_step ppf s)
+    h;
+  Format.fprintf ppf ")"
+
+let to_string h = Format.asprintf "%a" pp h

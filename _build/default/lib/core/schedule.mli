@@ -1,0 +1,59 @@
+(** Schedules (logs, histories) — Section 3.1.
+
+    A schedule of a transaction system is a permutation of all its steps
+    that preserves each transaction's internal step order. Two
+    representations are used:
+
+    - the {b interleaving} form: an [int array] whose [k]-th entry is the
+      transaction whose next step runs at position [k] (compact; this is
+      what {!Combin.Interleave} enumerates);
+    - the {b step} form: a [Names.step_id array].
+
+    They are in bijection given the format. *)
+
+type t = Names.step_id array
+
+val of_interleaving : int array -> t
+(** The [j]-th occurrence of transaction [i] becomes step [(i, j)]. *)
+
+val to_interleaving : t -> int array
+
+val is_schedule_of : int array -> t -> bool
+(** [is_schedule_of fmt h] checks [h] is a schedule of the format: every
+    step of every transaction appears exactly once and per-transaction
+    order is respected. *)
+
+val serial : int array -> int array -> t
+(** [serial fmt order] runs whole transactions in permutation [order]. *)
+
+val is_serial : t -> bool
+(** Whether the schedule is a concatenation of complete transactions
+    (complete with respect to the steps present in the schedule). *)
+
+val serial_order : t -> int array option
+(** [Some order] if serial, with the transaction order. *)
+
+val all : int array -> t list
+(** Every schedule of the format — the set [H]. Small formats only. *)
+
+val all_serial : int array -> t list
+(** The [n!] serial schedules. *)
+
+val count : int array -> int
+(** [|H|] for the format. *)
+
+val random : Random.State.t -> int array -> t
+(** Uniformly random schedule. *)
+
+val positions : t -> (Names.step_id * int) list
+(** Each step with its position. *)
+
+val prefix : t -> int -> t
+(** First [k] steps. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints [(T11, T21, T12)]. *)
+
+val to_string : t -> string

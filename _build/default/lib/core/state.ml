@@ -1,0 +1,53 @@
+type t = Expr.Value.t Names.Vmap.t
+
+let empty = Names.Vmap.empty
+
+let of_list l =
+  List.fold_left (fun m (v, x) -> Names.Vmap.add v x m) Names.Vmap.empty l
+
+let of_ints l = of_list (List.map (fun (v, n) -> (v, Expr.Value.Int n)) l)
+
+let get g v = Names.Vmap.find v g
+
+let set g v x = Names.Vmap.add v x g
+
+let bindings = Names.Vmap.bindings
+
+let equal = Names.Vmap.equal Expr.Value.equal
+
+let compare = Names.Vmap.compare Expr.Value.compare
+
+let restrict vars g =
+  Names.Vmap.filter (fun v _ -> List.mem v vars) g
+
+let pp ppf g =
+  Format.fprintf ppf "{";
+  let first = ref true in
+  Names.Vmap.iter
+    (fun v x ->
+      if not !first then Format.fprintf ppf ", ";
+      first := false;
+      Format.fprintf ppf "%s=%a" v Expr.Value.pp x)
+    g;
+  Format.fprintf ppf "}"
+
+let to_string g = Format.asprintf "%a" pp g
+
+let enumerate domains =
+  let rec go = function
+    | [] -> Some [ empty ]
+    | (v, d) :: rest -> (
+      match Expr.Value.enumerate d, go rest with
+      | Some values, Some states ->
+        Some
+          (List.concat_map
+             (fun x -> List.map (fun g -> set g v x) states)
+             values)
+      | _, _ -> None)
+  in
+  go domains
+
+let sample st ?bound domains =
+  List.fold_left
+    (fun g (v, d) -> set g v (Expr.Value.sample st ?bound d))
+    empty domains

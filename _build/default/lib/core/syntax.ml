@@ -1,0 +1,67 @@
+type t = { accesses : Names.var array array }
+
+let make accesses =
+  if Array.length accesses = 0 then invalid_arg "Syntax.make: empty system";
+  { accesses = Array.map Array.copy accesses }
+
+let of_lists lists =
+  make (Array.of_list (List.map Array.of_list lists))
+
+let format s = Array.map Array.length s.accesses
+
+let n_transactions s = Array.length s.accesses
+
+let n_steps s =
+  Array.fold_left (fun acc tx -> acc + Array.length tx) 0 s.accesses
+
+let length s i =
+  if i < 0 || i >= n_transactions s then invalid_arg "Syntax.length";
+  Array.length s.accesses.(i)
+
+let var s (id : Names.step_id) =
+  if
+    id.tx < 0
+    || id.tx >= n_transactions s
+    || id.idx < 0
+    || id.idx >= Array.length s.accesses.(id.tx)
+  then invalid_arg "Syntax.var: step out of range";
+  s.accesses.(id.tx).(id.idx)
+
+let vars s =
+  Array.fold_left
+    (fun acc tx -> Array.fold_left (fun acc v -> Names.Vset.add v acc) acc tx)
+    Names.Vset.empty s.accesses
+  |> Names.Vset.elements
+
+let steps s =
+  let acc = ref [] in
+  for i = n_transactions s - 1 downto 0 do
+    for j = Array.length s.accesses.(i) - 1 downto 0 do
+      acc := Names.step i j :: !acc
+    done
+  done;
+  !acc
+
+let steps_on s v =
+  List.filter (fun id -> String.equal (var s id) v) (steps s)
+
+let transactions_on s v =
+  steps_on s v
+  |> List.map (fun (id : Names.step_id) -> id.tx)
+  |> List.sort_uniq Int.compare
+
+let rename f s = { accesses = Array.map (Array.map f) s.accesses }
+
+let equal a b = a.accesses = b.accesses
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i tx ->
+      Array.iteri
+        (fun j v ->
+          if i > 0 || j > 0 then Format.fprintf ppf "@ ";
+          Format.fprintf ppf "%a: %s" Names.pp_step (Names.step i j) v)
+        tx)
+    s.accesses;
+  Format.fprintf ppf "@]"

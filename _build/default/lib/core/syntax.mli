@@ -1,0 +1,52 @@
+(** Syntax of a transaction system (Section 2 of the paper).
+
+    The syntax records, for each step [T_ij], only the name [x_ij] of the
+    global variable it accesses, together with an uninterpreted function
+    symbol [f_ij] (implicit: the symbol is identified with the step id).
+    Each step is the indivisible execution of
+    [t_ij ← x_ij ; x_ij ← f_ij(t_i1, ..., t_ij)]. *)
+
+type t
+
+val make : Names.var array array -> t
+(** [make accesses] builds a syntax where [accesses.(i).(j)] is [x_ij],
+    the variable accessed by step [j] of transaction [i]. Transactions
+    may be empty. Raises [Invalid_argument] on an empty system. *)
+
+val of_lists : Names.var list list -> t
+
+val format : t -> int array
+(** The paper's format [(m_1, ..., m_n)]. *)
+
+val n_transactions : t -> int
+
+val n_steps : t -> int
+(** Total number of steps [Σ m_i]. *)
+
+val length : t -> int -> int
+(** [length s i] is [m_i]. *)
+
+val var : t -> Names.step_id -> Names.var
+(** [var s id] is [x_ij] for step [id]. Raises [Invalid_argument] on an
+    out-of-range id. *)
+
+val vars : t -> Names.var list
+(** All distinct variable names, sorted. *)
+
+val steps : t -> Names.step_id list
+(** All steps, transaction by transaction. *)
+
+val steps_on : t -> Names.var -> Names.step_id list
+(** All steps accessing a given variable, in transaction order. *)
+
+val transactions_on : t -> Names.var -> int list
+(** Indices of transactions having at least one step on the variable. *)
+
+val rename : (Names.var -> Names.var) -> t -> t
+(** Apply a variable renaming (used for the §5.4 discussion of policies
+    correct under arbitrary renamings). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line listing: one line per step, [Tij: x_ij]. *)

@@ -1,0 +1,103 @@
+type ic =
+  | Pred of Expr.Ast.t
+  | Sat of string * (State.t -> bool)
+  | Trivial
+
+type t = {
+  syntax : Syntax.t;
+  interp : Expr.Ast.t array array;
+  domains : (Names.var * Expr.Value.domain) list;
+  ic : ic;
+}
+
+let validate syntax interp =
+  let fmt = Syntax.format syntax in
+  if Array.length interp <> Array.length fmt then
+    invalid_arg "System.make: interpretation/format transaction count mismatch";
+  Array.iteri
+    (fun i phis ->
+      if Array.length phis <> fmt.(i) then
+        invalid_arg
+          (Printf.sprintf "System.make: transaction %d has %d steps but %d interpretations"
+             (i + 1) fmt.(i) (Array.length phis));
+      Array.iteri
+        (fun j phi ->
+          if Expr.Ast.max_local phi > j then
+            invalid_arg
+              (Printf.sprintf
+                 "System.make: phi_%d%d uses a local variable not yet declared"
+                 (i + 1) (j + 1));
+          if Expr.Ast.globals_used phi <> [] then
+            invalid_arg
+              (Printf.sprintf
+                 "System.make: phi_%d%d mentions a global variable directly"
+                 (i + 1) (j + 1)))
+        phis)
+    interp
+
+let make ?(domains = []) ?(ic = Trivial) syntax interp =
+  validate syntax interp;
+  let all_domains =
+    List.map
+      (fun v ->
+        match List.assoc_opt v domains with
+        | Some d -> (v, d)
+        | None -> (v, Expr.Value.Ints))
+      (Syntax.vars syntax)
+  in
+  { syntax; interp = Array.map Array.copy interp; domains = all_domains; ic }
+
+let format t = Syntax.format t.syntax
+
+let n_transactions t = Syntax.n_transactions t.syntax
+
+let phi t (id : Names.step_id) =
+  if
+    id.tx < 0
+    || id.tx >= Array.length t.interp
+    || id.idx < 0
+    || id.idx >= Array.length t.interp.(id.tx)
+  then invalid_arg "System.phi: step out of range";
+  t.interp.(id.tx).(id.idx)
+
+let domain t v =
+  match List.assoc_opt v t.domains with
+  | Some d -> d
+  | None -> invalid_arg ("System.domain: unknown variable " ^ v)
+
+let consistent t g =
+  match t.ic with
+  | Trivial -> true
+  | Sat (_, p) -> p g
+  | Pred e ->
+    Expr.Value.bool
+      (Expr.Ast.eval
+         ~locals:(fun _ -> raise (Expr.Ast.Type_error "IC uses a local"))
+         ~globals:(fun v -> State.get g v)
+         e)
+
+let step_kind t id =
+  let e = phi t id in
+  let j = id.Names.idx in
+  if Expr.Ast.is_identity_of j e then `Read
+  else if not (Expr.Ast.depends_on_local j e) then `Write
+  else `Update
+
+let pp_ic ppf = function
+  | Trivial -> Format.pp_print_string ppf "true"
+  | Sat (name, _) -> Format.fprintf ppf "<%s>" name
+  | Pred e -> Expr.Ast.pp ppf e
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i phis ->
+      Array.iteri
+        (fun j phi ->
+          if i > 0 || j > 0 then Format.fprintf ppf "@ ";
+          Format.fprintf ppf "%a: %s <- %a" Names.pp_step (Names.step i j)
+            (Syntax.var t.syntax (Names.step i j))
+            Expr.Ast.pp phi)
+        phis)
+    t.interp;
+  Format.fprintf ppf "@ IC: %a@]" pp_ic t.ic

@@ -1,0 +1,56 @@
+(** Full transaction systems: syntax + semantics + integrity constraints.
+
+    The semantics interprets each function symbol [f_ij] as an expression
+    [φ_ij] over the local variables [t_i1 .. t_ij] ([Expr.Ast.Local 0] to
+    [Local (j-1)], 0-based). The integrity constraints [IC] select the
+    consistent global states. *)
+
+type ic =
+  | Pred of Expr.Ast.t
+      (** A boolean expression over global variables. *)
+  | Sat of string * (State.t -> bool)
+      (** An opaque predicate with a display name, for constraints not
+          expressible in the expression language (e.g. Herbrand
+          reachability sets). *)
+  | Trivial  (** Every state is consistent. *)
+
+type t = private {
+  syntax : Syntax.t;
+  interp : Expr.Ast.t array array;  (** [interp.(i).(j)] is [φ_ij] *)
+  domains : (Names.var * Expr.Value.domain) list;
+      (** Domain of every global variable, sorted by name. *)
+  ic : ic;
+}
+
+val make :
+  ?domains:(Names.var * Expr.Value.domain) list ->
+  ?ic:ic ->
+  Syntax.t ->
+  Expr.Ast.t array array ->
+  t
+(** Build and validate a system. Checks: the interpretation array matches
+    the format; [φ_ij] mentions only [Local 0 .. Local j] (0-based step
+    [j]) and no global variables. Unlisted variables default to the
+    domain [Ints]; [ic] defaults to [Trivial]. Raises
+    [Invalid_argument] with a diagnostic on violation. *)
+
+val format : t -> int array
+val n_transactions : t -> int
+
+val phi : t -> Names.step_id -> Expr.Ast.t
+(** The interpretation of a step's function symbol. *)
+
+val domain : t -> Names.var -> Expr.Value.domain
+
+val consistent : t -> State.t -> bool
+(** Whether a global state satisfies the integrity constraints. *)
+
+val step_kind : t -> Names.step_id -> [ `Read | `Write | `Update ]
+(** Syntactic classification of §2: a step whose [φ] is the identity on
+    its own read ([t_ij]) is a {e read}; one whose [φ] ignores [t_ij] is
+    a {e write}; otherwise it is a general update. *)
+
+val pp : Format.formatter -> t -> unit
+(** Listing with interpretations: [Tij: x <- (t1 + 1)]. *)
+
+val pp_ic : Format.formatter -> ic -> unit

@@ -1,0 +1,223 @@
+module Iset = Set.Make (Int)
+
+type t = { n : int; mutable adj : Iset.t array }
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create: negative size";
+  { n; adj = Array.make n Iset.empty }
+
+let n_vertices g = g.n
+
+let check g u =
+  if u < 0 || u >= g.n then invalid_arg "Digraph: vertex out of range"
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  g.adj.(u) <- Iset.add v g.adj.(u)
+
+let remove_edge g u v =
+  check g u;
+  check g v;
+  g.adj.(u) <- Iset.remove v g.adj.(u)
+
+let has_edge g u v =
+  check g u;
+  check g v;
+  Iset.mem v g.adj.(u)
+
+let succ g u =
+  check g u;
+  Iset.elements g.adj.(u)
+
+let pred g v =
+  check g v;
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    if Iset.mem v g.adj.(u) then acc := u :: !acc
+  done;
+  !acc
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    Iset.fold (fun v l -> (u, v) :: l) g.adj.(u) []
+    |> List.iter (fun e -> acc := e :: !acc)
+  done;
+  List.sort compare !acc
+
+let n_edges g = Array.fold_left (fun acc s -> acc + Iset.cardinal s) 0 g.adj
+
+let copy g = { n = g.n; adj = Array.copy g.adj }
+
+(* DFS colouring: 0 = white, 1 = grey (on stack), 2 = black. *)
+let has_cycle g =
+  let colour = Array.make g.n 0 in
+  let rec visit u =
+    colour.(u) <- 1;
+    let cyc =
+      Iset.exists
+        (fun v -> colour.(v) = 1 || (colour.(v) = 0 && visit v))
+        g.adj.(u)
+    in
+    colour.(u) <- 2;
+    cyc
+  in
+  let rec scan u =
+    if u >= g.n then false
+    else if colour.(u) = 0 && visit u then true
+    else scan (u + 1)
+  in
+  scan 0
+
+let topological_sort g =
+  let indeg = Array.make g.n 0 in
+  Array.iter (fun s -> Iset.iter (fun v -> indeg.(v) <- indeg.(v) + 1) s) g.adj;
+  (* min-heap substitute: a sorted set of ready vertices for determinism *)
+  let ready = ref Iset.empty in
+  for u = 0 to g.n - 1 do
+    if indeg.(u) = 0 then ready := Iset.add u !ready
+  done;
+  let order = Array.make g.n 0 in
+  let filled = ref 0 in
+  while not (Iset.is_empty !ready) do
+    let u = Iset.min_elt !ready in
+    ready := Iset.remove u !ready;
+    order.(!filled) <- u;
+    incr filled;
+    Iset.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then ready := Iset.add v !ready)
+      g.adj.(u)
+  done;
+  if !filled = g.n then Some order else None
+
+let scc g =
+  (* Tarjan's algorithm, iterative to be safe on large graphs. *)
+  let index = Array.make g.n (-1) in
+  let lowlink = Array.make g.n 0 in
+  let on_stack = Array.make g.n false in
+  let comp = Array.make g.n (-1) in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let rec strong u =
+    index.(u) <- !next_index;
+    lowlink.(u) <- !next_index;
+    incr next_index;
+    Stack.push u stack;
+    on_stack.(u) <- true;
+    Iset.iter
+      (fun v ->
+        if index.(v) < 0 then begin
+          strong v;
+          lowlink.(u) <- min lowlink.(u) lowlink.(v)
+        end
+        else if on_stack.(v) then lowlink.(u) <- min lowlink.(u) index.(v))
+      g.adj.(u);
+    if lowlink.(u) = index.(u) then begin
+      let continue = ref true in
+      while !continue do
+        let w = Stack.pop stack in
+        on_stack.(w) <- false;
+        comp.(w) <- !next_comp;
+        if w = u then continue := false
+      done;
+      incr next_comp
+    end
+  in
+  for u = 0 to g.n - 1 do
+    if index.(u) < 0 then strong u
+  done;
+  comp
+
+let find_cycle g =
+  let colour = Array.make g.n 0 in
+  let parent = Array.make g.n (-1) in
+  let result = ref None in
+  let rec visit u =
+    colour.(u) <- 1;
+    Iset.iter
+      (fun v ->
+        if !result = None then
+          if colour.(v) = 1 then begin
+            (* found a back edge u -> v: walk parents from u back to v *)
+            let rec collect w acc =
+              if w = v then v :: acc else collect parent.(w) (w :: acc)
+            in
+            result := Some (collect u [])
+          end
+          else if colour.(v) = 0 then begin
+            parent.(v) <- u;
+            visit v
+          end)
+      g.adj.(u);
+    colour.(u) <- 2
+  in
+  let u = ref 0 in
+  while !result = None && !u < g.n do
+    if colour.(!u) = 0 then visit !u;
+    incr u
+  done;
+  !result
+
+let reachable g u =
+  check g u;
+  let seen = Array.make g.n false in
+  let rec visit w =
+    if not seen.(w) then begin
+      seen.(w) <- true;
+      Iset.iter visit g.adj.(w)
+    end
+  in
+  visit u;
+  seen
+
+let transitive_closure g =
+  let closure = create g.n in
+  for u = 0 to g.n - 1 do
+    let seen = Array.make g.n false in
+    let rec visit w =
+      Iset.iter
+        (fun v ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            add_edge closure u v;
+            visit v
+          end)
+        g.adj.(w)
+    in
+    visit u
+  done;
+  closure
+
+let undirected_components g =
+  let comp = Array.make g.n (-1) in
+  let sym = Array.make g.n Iset.empty in
+  for u = 0 to g.n - 1 do
+    Iset.iter
+      (fun v ->
+        sym.(u) <- Iset.add v sym.(u);
+        sym.(v) <- Iset.add u sym.(v))
+      g.adj.(u)
+  done;
+  let next = ref 0 in
+  let rec visit c u =
+    if comp.(u) < 0 then begin
+      comp.(u) <- c;
+      Iset.iter (visit c) sym.(u)
+    end
+  in
+  for u = 0 to g.n - 1 do
+    if comp.(u) < 0 then begin
+      visit !next u;
+      incr next
+    end
+  done;
+  comp
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph(%d) {" g.n;
+  List.iter (fun (u, v) -> Format.fprintf ppf "@ %d -> %d;" u v) (edges g);
+  Format.fprintf ppf "@ }@]"

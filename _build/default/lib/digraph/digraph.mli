@@ -1,0 +1,66 @@
+(** Directed graphs over integer vertices [0 .. n-1].
+
+    Substrate for the conflict (serialization) graphs of Section 4, the
+    wait-for graphs of the lock manager, and block-connectivity checks in
+    the locking geometry. Mutable adjacency-set representation; all
+    algorithms are deterministic. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty graph with vertices [0 .. n-1]. *)
+
+val n_vertices : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge g u v] adds edge [u → v]. Idempotent. Self-loops allowed
+    (and count as cycles). Raises [Invalid_argument] on out-of-range
+    vertices. *)
+
+val remove_edge : t -> int -> int -> unit
+
+val has_edge : t -> int -> int -> bool
+
+val succ : t -> int -> int list
+(** Successors in increasing order. *)
+
+val pred : t -> int -> int list
+(** Predecessors in increasing order (computed). *)
+
+val edges : t -> (int * int) list
+(** All edges, lexicographically ordered. *)
+
+val n_edges : t -> int
+
+val copy : t -> t
+
+val has_cycle : t -> bool
+(** [true] iff the graph contains a directed cycle (self-loops count). *)
+
+val topological_sort : t -> int array option
+(** [Some order] listing vertices such that every edge goes forward, or
+    [None] if the graph is cyclic. Kahn's algorithm; ties broken by
+    smallest vertex for determinism. *)
+
+val scc : t -> int array
+(** [scc g] labels each vertex with the index of its strongly connected
+    component (Tarjan). Component indices are in reverse topological
+    order of the condensation. *)
+
+val find_cycle : t -> int list option
+(** [find_cycle g] returns the vertices of some directed cycle in order
+    (first vertex repeated implicitly), or [None]. Used to pick deadlock
+    victims from wait-for graphs. *)
+
+val reachable : t -> int -> bool array
+(** [reachable g u] marks every vertex reachable from [u] (including
+    [u]). *)
+
+val transitive_closure : t -> t
+(** A new graph with an edge [u → v] whenever [v] is reachable from [u]
+    by a non-empty path. *)
+
+val undirected_components : t -> int array
+(** Connected components ignoring edge direction; labels as in {!scc}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/expr/ast.ml: Format Int List String Value

@@ -1,0 +1,1 @@
+lib/expr/value.ml: Bool Char Format Int Random String

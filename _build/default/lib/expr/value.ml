@@ -1,0 +1,71 @@
+type t =
+  | Int of int
+  | Bool of bool
+  | Str of string
+
+let equal a b =
+  match a, b with
+  | Int x, Int y -> x = y
+  | Bool x, Bool y -> x = y
+  | Str x, Str y -> String.equal x y
+  | (Int _ | Bool _ | Str _), _ -> false
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Int.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Str x, Str y -> String.compare x y
+  | Int _, (Bool _ | Str _) -> -1
+  | Bool _, Str _ -> -1
+  | Bool _, Int _ -> 1
+  | Str _, (Int _ | Bool _) -> 1
+
+let pp ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Bool b -> Format.fprintf ppf "%b" b
+  | Str s -> Format.fprintf ppf "%S" s
+
+let to_string v = Format.asprintf "%a" pp v
+
+let int = function
+  | Int n -> n
+  | Bool _ | Str _ -> invalid_arg "Value.int: not an Int"
+
+let bool = function
+  | Bool b -> b
+  | Int _ | Str _ -> invalid_arg "Value.bool: not a Bool"
+
+type domain =
+  | Ints
+  | Int_range of int * int
+  | Bools
+  | Strings
+
+let mem d v =
+  match d, v with
+  | Ints, Int _ -> true
+  | Int_range (lo, hi), Int n -> lo <= n && n <= hi
+  | Bools, Bool _ -> true
+  | Strings, Str _ -> true
+  | (Ints | Int_range _ | Bools | Strings), _ -> false
+
+let enumerate = function
+  | Ints | Strings -> None
+  | Int_range (lo, hi) ->
+    let rec go n acc = if n < lo then acc else go (n - 1) (Int n :: acc) in
+    Some (go hi [])
+  | Bools -> Some [ Bool false; Bool true ]
+
+let sample st ?(bound = 8) = function
+  | Ints -> Int (Random.State.int st (2 * bound + 1) - bound)
+  | Int_range (lo, hi) -> Int (lo + Random.State.int st (hi - lo + 1))
+  | Bools -> Bool (Random.State.bool st)
+  | Strings ->
+    let len = Random.State.int st 4 in
+    Str (String.init len (fun _ -> Char.chr (97 + Random.State.int st 26)))
+
+let pp_domain ppf = function
+  | Ints -> Format.pp_print_string ppf "Z"
+  | Int_range (lo, hi) -> Format.fprintf ppf "[%d..%d]" lo hi
+  | Bools -> Format.pp_print_string ppf "{0,1}"
+  | Strings -> Format.pp_print_string ppf "Sigma*"

@@ -1,0 +1,42 @@
+(** Concrete values for variable domains.
+
+    The paper allows each variable an enumerable domain — "typically the
+    integers, the set [{0,1}], or finite strings". We provide exactly
+    those three, under one closed type so that states are heterogeneous
+    maps from variable names to values. *)
+
+type t =
+  | Int of int
+  | Bool of bool
+  | Str of string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val int : t -> int
+(** Projection. Raises [Invalid_argument] on a non-[Int]. *)
+
+val bool : t -> bool
+(** Projection. Raises [Invalid_argument] on a non-[Bool]. *)
+
+(** A domain is an enumerable value set. Finite domains can be listed;
+    [Ints] stands for the full integers (sampled, not enumerated). *)
+type domain =
+  | Ints          (** all integers *)
+  | Int_range of int * int  (** integers [lo..hi] inclusive *)
+  | Bools
+  | Strings       (** all finite strings (never enumerated) *)
+
+val mem : domain -> t -> bool
+(** Membership of a value in a domain. *)
+
+val enumerate : domain -> t list option
+(** [Some values] for finite domains, [None] for [Ints] / [Strings]. *)
+
+val sample : Random.State.t -> ?bound:int -> domain -> t
+(** Draw a value; integer domains are sampled in [-bound .. bound]
+    (default 8) when unbounded. *)
+
+val pp_domain : Format.formatter -> domain -> unit

@@ -1,0 +1,1 @@
+lib/locking/geometry.ml: Array Core Digraph Hashtbl List Locked Option Queue String Syntax

@@ -1,0 +1,1 @@
+lib/locking/geometry_nd.mli: Locked

@@ -1,0 +1,1 @@
+lib/locking/locked.ml: Array Combin Core Format Hashtbl List Map Names Printf Schedule Set String Syntax

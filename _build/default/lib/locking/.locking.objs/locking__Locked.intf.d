@@ -1,0 +1,1 @@
+lib/locking/locked.mli: Core Format Names Schedule Syntax

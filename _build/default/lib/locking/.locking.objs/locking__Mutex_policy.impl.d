@@ -1,0 +1,1 @@
+lib/locking/mutex_policy.ml: Array Core List Locked Names Policy

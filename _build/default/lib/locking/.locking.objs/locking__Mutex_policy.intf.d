@@ -1,0 +1,1 @@
+lib/locking/mutex_policy.mli: Core Locked Names Policy Syntax

@@ -1,0 +1,1 @@
+lib/locking/policy.ml: Array Conflict Core List Locked Names Schedule Syntax

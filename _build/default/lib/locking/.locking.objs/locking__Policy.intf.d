@@ -1,0 +1,1 @@
+lib/locking/policy.mli: Core Locked Names Syntax

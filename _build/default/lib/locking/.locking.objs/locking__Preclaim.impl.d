@@ -1,0 +1,1 @@
+lib/locking/preclaim.ml: Array Core Hashtbl List Locked Names Policy String Two_phase

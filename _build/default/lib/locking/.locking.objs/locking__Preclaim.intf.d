@@ -1,0 +1,1 @@
+lib/locking/preclaim.mli: Core Locked Names Policy Syntax

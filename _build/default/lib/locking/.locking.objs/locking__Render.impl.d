@@ -1,0 +1,1 @@
+lib/locking/render.ml: Array Buffer Format Geometry List Locked Printf String

@@ -1,0 +1,1 @@
+lib/locking/render.mli: Geometry Locked

@@ -1,0 +1,1 @@
+lib/locking/rw_lock.ml: Array Combin Core Format Hashtbl List Names Rw_model String

@@ -1,0 +1,1 @@
+lib/locking/rw_lock.mli: Core Format Names Rw_model

@@ -1,0 +1,1 @@
+lib/locking/tree_lock.ml: Array Core Hashtbl Int List Locked Names Option Policy String

@@ -1,0 +1,1 @@
+lib/locking/tree_lock.mli: Core Locked Names Policy Syntax

@@ -1,0 +1,1 @@
+lib/locking/two_phase.ml: Array Core Hashtbl List Locked Names Policy

@@ -1,0 +1,1 @@
+lib/locking/two_phase.mli: Core Locked Names Policy Syntax

@@ -1,0 +1,1 @@
+lib/locking/two_phase_prime.ml: Array Core Hashtbl List Locked Names Policy String Two_phase

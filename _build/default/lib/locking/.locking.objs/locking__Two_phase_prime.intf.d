@@ -1,0 +1,1 @@
+lib/locking/two_phase_prime.mli: Core Locked Names Policy Syntax

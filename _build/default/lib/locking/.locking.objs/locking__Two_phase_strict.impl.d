@@ -1,0 +1,1 @@
+lib/locking/two_phase_strict.ml: Array Core Hashtbl List Locked Names Policy String Two_phase

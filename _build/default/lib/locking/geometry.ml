@@ -1,0 +1,223 @@
+open Core
+
+type side = Below | Above
+
+type rect = {
+  x_lo : int;
+  x_hi : int;
+  y_lo : int;
+  y_hi : int;
+  lock : Locked.lock_var;
+}
+
+type t = {
+  locked : Locked.t;
+  l1 : int;
+  l2 : int;
+  rects : rect list;
+  forbidden_grid : bool array array;  (** [(l1+1) x (l2+1)] *)
+  safe_grid : bool array array;
+  reach_grid : bool array array;
+}
+
+(* Inclusive progress intervals during which a transaction holds a lock:
+   a lock at step index q is held after q+1 steps, until the matching
+   unlock at index q' (held after p steps for p in [q+1, q']). *)
+let hold_intervals (tx : Locked.transaction) x =
+  let acc = ref [] in
+  let open_at = ref None in
+  Array.iteri
+    (fun q s ->
+      match s with
+      | Locked.Lock y when String.equal x y -> open_at := Some (q + 1)
+      | Locked.Unlock y when String.equal x y -> (
+        match !open_at with
+        | Some lo ->
+          acc := (lo, q) :: !acc;
+          open_at := None
+        | None -> ())
+      | Locked.Lock _ | Locked.Unlock _ | Locked.Action _ -> ())
+    tx;
+  List.rev !acc
+
+let analyse locked =
+  if Array.length locked.Locked.txs <> 2 then
+    invalid_arg "Geometry.analyse: exactly two transactions required";
+  let tx1 = locked.Locked.txs.(0) and tx2 = locked.Locked.txs.(1) in
+  let l1 = Array.length tx1 and l2 = Array.length tx2 in
+  let rects =
+    List.concat_map
+      (fun x ->
+        List.concat_map
+          (fun (x_lo, x_hi) ->
+            List.map
+              (fun (y_lo, y_hi) -> { x_lo; x_hi; y_lo; y_hi; lock = x })
+              (hold_intervals tx2 x))
+          (hold_intervals tx1 x))
+      (Locked.lock_vars locked)
+  in
+  let forbidden_grid =
+    Array.init (l1 + 1) (fun p1 ->
+        Array.init (l2 + 1) (fun p2 ->
+            List.exists
+              (fun r ->
+                r.x_lo <= p1 && p1 <= r.x_hi && r.y_lo <= p2 && p2 <= r.y_hi)
+              rects))
+  in
+  let safe_grid = Array.make_matrix (l1 + 1) (l2 + 1) false in
+  for p1 = l1 downto 0 do
+    for p2 = l2 downto 0 do
+      if not forbidden_grid.(p1).(p2) then
+        safe_grid.(p1).(p2) <-
+          (p1 = l1 && p2 = l2)
+          || (p1 < l1 && safe_grid.(p1 + 1).(p2))
+          || (p2 < l2 && safe_grid.(p1).(p2 + 1))
+    done
+  done;
+  let reach_grid = Array.make_matrix (l1 + 1) (l2 + 1) false in
+  for p1 = 0 to l1 do
+    for p2 = 0 to l2 do
+      if not forbidden_grid.(p1).(p2) then
+        reach_grid.(p1).(p2) <-
+          (p1 = 0 && p2 = 0)
+          || (p1 > 0 && reach_grid.(p1 - 1).(p2))
+          || (p2 > 0 && reach_grid.(p1).(p2 - 1))
+    done
+  done;
+  { locked; l1; l2; rects; forbidden_grid; safe_grid; reach_grid }
+
+let extent g = (g.l1, g.l2)
+let blocks g = g.rects
+let forbidden g (p1, p2) = g.forbidden_grid.(p1).(p2)
+let safe g (p1, p2) = g.safe_grid.(p1).(p2)
+let reachable g (p1, p2) = g.reach_grid.(p1).(p2)
+
+let deadlock g (p1, p2) =
+  g.reach_grid.(p1).(p2) && not g.safe_grid.(p1).(p2)
+
+let deadlock_region g =
+  let acc = ref [] in
+  for p1 = g.l1 downto 0 do
+    for p2 = g.l2 downto 0 do
+      if deadlock g (p1, p2) then acc := (p1, p2) :: !acc
+    done
+  done;
+  !acc
+
+let has_deadlock g = deadlock_region g <> []
+
+let path_of_interleaving il = Array.map (fun i -> i = 0) il
+
+let path_points path =
+  let x = ref 0 and y = ref 0 in
+  (0, 0)
+  :: Array.to_list
+       (Array.map
+          (fun right ->
+            if right then incr x else incr y;
+            (!x, !y))
+          path)
+
+let path_legal g path =
+  List.for_all (fun p -> not (forbidden g p)) (path_points path)
+
+let block_side g path r =
+  if not (path_legal g path) then
+    invalid_arg "Geometry.block_side: illegal path";
+  let points = path_points path in
+  match List.find_opt (fun (x, _) -> x = r.x_lo) points with
+  | None -> invalid_arg "Geometry.block_side: path does not span the grid"
+  | Some (_, y) ->
+    if y < r.y_lo then Below
+    else if y > r.y_hi then Above
+    else invalid_arg "Geometry.block_side: path inside a block"
+
+let sides g path = List.map (fun r -> (r, block_side g path r)) g.rects
+
+let geometric_serializable g path =
+  let data_vars = Syntax.vars g.locked.Locked.base in
+  let data_sides =
+    List.filter_map
+      (fun (r, s) ->
+        if List.mem r.lock data_vars then Some s else None)
+      (sides g path)
+  in
+  match data_sides with
+  | [] -> true
+  | s :: rest -> List.for_all (( = ) s) rest
+
+let elementary_moves g path =
+  let len = Array.length path in
+  let acc = ref [] in
+  for k = 0 to len - 2 do
+    if path.(k) <> path.(k + 1) then begin
+      let p = Array.copy path in
+      p.(k) <- path.(k + 1);
+      p.(k + 1) <- path.(k);
+      if path_legal g p then acc := p :: !acc
+    end
+  done;
+  !acc
+
+let homotopic g p1 p2 =
+  if not (path_legal g p1 && path_legal g p2) then false
+  else begin
+    let visited = Hashtbl.create 256 in
+    let queue = Queue.create () in
+    Hashtbl.add visited p1 ();
+    Queue.add p1 queue;
+    let found = ref (p1 = p2) in
+    while (not !found) && not (Queue.is_empty queue) do
+      let p = Queue.pop queue in
+      List.iter
+        (fun q ->
+          if not (Hashtbl.mem visited q) then begin
+            if q = p2 then found := true;
+            Hashtbl.add visited q ();
+            Queue.add q queue
+          end)
+        (elementary_moves g p)
+    done;
+    !found
+  end
+
+let serial_paths g =
+  ( Array.init (g.l1 + g.l2) (fun k -> k < g.l1),
+    Array.init (g.l1 + g.l2) (fun k -> k >= g.l2) )
+
+let rects_overlap a b =
+  a.x_lo <= b.x_hi && b.x_lo <= a.x_hi && a.y_lo <= b.y_hi && b.y_lo <= a.y_hi
+
+let blocks_connected g =
+  match g.rects with
+  | [] | [ _ ] -> true
+  | rects ->
+    let n = List.length rects in
+    let arr = Array.of_list rects in
+    let graph = Digraph.create n in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && rects_overlap arr.(i) arr.(j) then
+          Digraph.add_edge graph i j
+      done
+    done;
+    let comp = Digraph.undirected_components graph in
+    Array.for_all (fun c -> c = comp.(0)) comp
+
+let common_point g =
+  match g.rects with
+  | [] -> None
+  | r :: rest ->
+    let inter =
+      List.fold_left
+        (fun acc r' ->
+          match acc with
+          | None -> None
+          | Some (xl, xh, yl, yh) ->
+            let xl = max xl r'.x_lo and xh = min xh r'.x_hi in
+            let yl = max yl r'.y_lo and yh = min yh r'.y_hi in
+            if xl <= xh && yl <= yh then Some (xl, xh, yl, yh) else None)
+        (Some (r.x_lo, r.x_hi, r.y_lo, r.y_hi))
+        rest
+    in
+    Option.map (fun (xl, _, yl, _) -> (xl, yl)) inter

@@ -1,0 +1,138 @@
+
+type t = {
+  locked : Locked.t;
+  dims : int array;        (* L_i *)
+  strides : int array;
+  size : int;
+  forbidden_flat : bool array;
+  safe_flat : bool array;
+  reach_flat : bool array;
+}
+
+let index g p =
+  let idx = ref 0 in
+  Array.iteri (fun i x -> idx := !idx + (x * g.strides.(i))) p;
+  !idx
+
+let analyse locked =
+  let txs = locked.Locked.txs in
+  let n = Array.length txs in
+  let dims = Array.map Array.length txs in
+  let size = Array.fold_left (fun acc d -> acc * (d + 1)) 1 dims in
+  if size > 2_000_000 then invalid_arg "Geometry_nd.analyse: grid too large";
+  let strides = Array.make n 0 in
+  let acc = ref 1 in
+  for i = 0 to n - 1 do
+    strides.(i) <- !acc;
+    acc := !acc * (dims.(i) + 1)
+  done;
+  let vars = Locked.lock_vars locked in
+  (* holds.(i) x p : does tx i hold x after p of its steps *)
+  let holds =
+    Array.map
+      (fun tx ->
+        List.map
+          (fun x ->
+            (x, Array.init (Array.length tx + 1) (Locked.holds_after tx x)))
+          vars)
+      txs
+  in
+  let g0 =
+    { locked; dims; strides; size;
+      forbidden_flat = Array.make size false;
+      safe_flat = Array.make size false;
+      reach_flat = Array.make size false }
+  in
+  (* iterate over all points *)
+  let p = Array.make n 0 in
+  let rec visit i f = if i = n then f () else
+    for x = 0 to dims.(i) do
+      p.(i) <- x;
+      visit (i + 1) f
+    done
+  in
+  visit 0 (fun () ->
+      let clash =
+        List.exists
+          (fun x ->
+            let cnt = ref 0 in
+            Array.iteri
+              (fun i hx ->
+                match List.assoc_opt x hx with
+                | Some table -> if table.(p.(i)) then incr cnt
+                | None -> ())
+              holds;
+            !cnt >= 2)
+          vars
+      in
+      if clash then g0.forbidden_flat.(index g0 p) <- true);
+  (* safe: backwards DP in decreasing index order — strides are such that
+     decrementing any coordinate decreases the flat index, so a simple
+     reverse scan visits successors first *)
+  for idx = size - 1 downto 0 do
+    if not g0.forbidden_flat.(idx) then begin
+      let is_final = ref true in
+      let ok = ref false in
+      for i = 0 to n - 1 do
+        let d = dims.(i) + 1 in
+        let x = idx / g0.strides.(i) mod d in
+        if x < dims.(i) then begin
+          is_final := false;
+          if g0.safe_flat.(idx + g0.strides.(i)) then ok := true
+        end
+      done;
+      g0.safe_flat.(idx) <- !is_final || !ok
+    end
+  done;
+  (* reachable: forward DP *)
+  for idx = 0 to size - 1 do
+    if not g0.forbidden_flat.(idx) then begin
+      let is_origin = ref true in
+      let ok = ref false in
+      for i = 0 to n - 1 do
+        let d = dims.(i) + 1 in
+        let x = idx / g0.strides.(i) mod d in
+        if x > 0 then begin
+          is_origin := false;
+          if g0.reach_flat.(idx - g0.strides.(i)) then ok := true
+        end
+      done;
+      g0.reach_flat.(idx) <- !is_origin || !ok
+    end
+  done;
+  g0
+
+let dims g = Array.copy g.dims
+let forbidden g p = g.forbidden_flat.(index g p)
+let safe g p = g.safe_flat.(index g p)
+let reachable g p = g.reach_flat.(index g p)
+let deadlock g p = reachable g p && not (safe g p)
+
+let deadlock_points g =
+  let n = Array.length g.dims in
+  let acc = ref [] in
+  for idx = g.size - 1 downto 0 do
+    if g.reach_flat.(idx) && not g.safe_flat.(idx) then begin
+      let p =
+        Array.init n (fun i -> idx / g.strides.(i) mod (g.dims.(i) + 1))
+      in
+      acc := p :: !acc
+    end
+  done;
+  !acc
+
+let has_deadlock g = deadlock_points g <> []
+
+let path_of_interleaving g il =
+  let n = Array.length g.dims in
+  let p = Array.make n 0 in
+  Array.copy p
+  :: Array.to_list
+       (Array.map
+          (fun i ->
+            p.(i) <- p.(i) + 1;
+            Array.copy p)
+          il)
+
+let interleaving_legal g il =
+  List.for_all (fun p -> not (forbidden g p)) (path_of_interleaving g il)

@@ -1,0 +1,19 @@
+open Core
+
+(* The strawman scheduler of the introduction, phrased as a locking
+   policy: one global mutex around every transaction. Correct with no
+   information beyond the format, and exactly as slow as Theorem 2
+   predicts: its outputs are the serial schedules. *)
+
+let mutex = "#mutex"
+
+let transform_transaction i accesses =
+  let m = Array.length accesses in
+  if m = 0 then []
+  else
+    (Locked.Lock mutex
+     :: List.init m (fun j -> Locked.Action (Names.step i j)))
+    @ [ Locked.Unlock mutex ]
+
+let policy = Policy.separable "mutex" transform_transaction
+let apply = policy.Policy.apply

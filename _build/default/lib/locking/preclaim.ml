@@ -1,0 +1,29 @@
+open Core
+
+let transform_transaction i accesses =
+  let m = Array.length accesses in
+  if m = 0 then []
+  else begin
+    let vars =
+      Array.to_list accesses |> List.sort_uniq String.compare
+    in
+    let last = Hashtbl.create 8 in
+    Array.iteri (fun j v -> Hashtbl.replace last v j) accesses;
+    let locks = List.map (fun v -> Locked.Lock (Two_phase.lock_name v)) vars in
+    let body =
+      List.concat
+        (List.init m (fun j ->
+             let v = accesses.(j) in
+             let unlock =
+               if Hashtbl.find last v = j then
+                 [ Locked.Unlock (Two_phase.lock_name v) ]
+               else []
+             in
+             Locked.Action (Names.step i j) :: unlock))
+    in
+    locks @ body
+  end
+
+let policy = Policy.separable "preclaim" transform_transaction
+
+let apply = policy.Policy.apply

@@ -1,0 +1,63 @@
+let grid ?path g =
+  let l1, l2 = Geometry.extent g in
+  let on_path =
+    match path with
+    | None -> fun _ -> false
+    | Some p ->
+      let pts = Geometry.path_points p in
+      fun q -> List.mem q pts
+  in
+  let buf = Buffer.create ((l1 + 2) * (l2 + 1)) in
+  for p2 = l2 downto 0 do
+    for p1 = 0 to l1 do
+      let c =
+        if Geometry.forbidden g (p1, p2) then '#'
+        else if on_path (p1, p2) then if p1 = 0 && p2 = 0 then 'o' else '*'
+        else if p1 = 0 && p2 = 0 then 'o'
+        else if p1 = l1 && p2 = l2 then 'F'
+        else if Geometry.deadlock g (p1, p2) then 'D'
+        else '.'
+      in
+      Buffer.add_char buf c
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let axis_legend locked =
+  let tx_line i (tx : Locked.transaction) =
+    let steps =
+      Array.to_list tx
+      |> List.map (fun s -> Format.asprintf "%a" Locked.pp_step s)
+    in
+    Printf.sprintf "T%d (axis %s): %s" (i + 1)
+      (if i = 0 then "->" else "^")
+      (String.concat " | " steps)
+  in
+  String.concat "\n"
+    (Array.to_list (Array.mapi tx_line locked.Locked.txs))
+
+let side_summary g path =
+  let line (r, s) =
+    Printf.sprintf "block %-6s x:[%d..%d] y:[%d..%d]  side: %s"
+      r.Geometry.lock r.Geometry.x_lo r.Geometry.x_hi r.Geometry.y_lo
+      r.Geometry.y_hi
+      (match s with Geometry.Below -> "below (T1 first)" | Geometry.Above -> "above (T2 first)")
+  in
+  String.concat "\n" (List.map line (Geometry.sides g path))
+
+let figure ?path locked =
+  let g = Geometry.analyse locked in
+  let dead = Geometry.deadlock_region g in
+  String.concat "\n"
+    [
+      axis_legend locked;
+      "";
+      grid ?path g;
+      (match dead with
+      | [] -> "no deadlock region"
+      | pts ->
+        Printf.sprintf "deadlock region D: %d point(s) %s" (List.length pts)
+          (String.concat " "
+             (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) pts)));
+    ]

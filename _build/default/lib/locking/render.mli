@@ -1,0 +1,22 @@
+(** ASCII rendering of the progress-space geometry — the pictures of
+    Figures 3 and 4 in text form.
+
+    Conventions: the horizontal axis is transaction 1's progress, the
+    vertical axis transaction 2's (origin at the bottom-left, like the
+    paper). Cell glyphs: ['#'] forbidden (inside a block), ['D'] the
+    deadlock region, ['*'] a point on the rendered path, ['o'] the
+    origin, ['F'] the final point, ['.'] anything else. *)
+
+val grid : ?path:bool array -> Geometry.t -> string
+(** The lattice as text, one row per [p2] value (top = [L2]). *)
+
+val axis_legend : Locked.t -> string
+(** Numbered step listings for both transactions, to label the axes. *)
+
+val side_summary : Geometry.t -> bool array -> string
+(** One line per block: its lock variable, extent, and the side the
+    path passes it on. *)
+
+val figure : ?path:bool array -> Locked.t -> string
+(** [axis_legend] + [grid] + deadlock summary: a full Figure-3-style
+    panel for a two-transaction locked system. *)

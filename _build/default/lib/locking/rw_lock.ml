@@ -1,0 +1,238 @@
+open Core
+
+type mode = Shared | Exclusive
+
+let compatible held requested =
+  match held, requested with
+  | Shared, Shared -> true
+  | Shared, Exclusive | Exclusive, Shared | Exclusive, Exclusive -> false
+
+type step =
+  | Acquire of Names.var * mode
+  | Release of Names.var
+  | Do of Rw_model.step
+
+type program = step array
+
+let var_of_action = function Rw_model.Read v | Rw_model.Write v -> v
+
+let transform_with ~mode_for i actions =
+  let actions = Array.of_list actions in
+  let m = Array.length actions in
+  if m = 0 then [||]
+  else begin
+    let first = Hashtbl.create 8 and last = Hashtbl.create 8 in
+    let first_write = Hashtbl.create 8 in
+    Array.iteri
+      (fun j a ->
+        let v = var_of_action a in
+        if not (Hashtbl.mem first v) then Hashtbl.add first v j;
+        Hashtbl.replace last v j;
+        match a with
+        | Rw_model.Write _ ->
+          if not (Hashtbl.mem first_write v) then Hashtbl.add first_write v j
+        | Rw_model.Read _ -> ())
+      actions;
+    (* initial mode at first use, and the position of the upgrade to
+       exclusive if a later write needs one *)
+    let initial_mode v = mode_for ~first_use:(Hashtbl.find first v) v actions in
+    let upgrade_at v =
+      match Hashtbl.find_opt first_write v, initial_mode v with
+      | Some jw, Shared when jw > Hashtbl.find first v -> Some jw
+      | _ -> None
+    in
+    let acquire_positions =
+      Hashtbl.fold
+        (fun v j acc ->
+          let acc = j :: acc in
+          match upgrade_at v with Some jw -> jw :: acc | None -> acc)
+        first []
+    in
+    let phase_shift = List.fold_left max 0 acquire_positions in
+    let early_releases =
+      Hashtbl.fold
+        (fun v j acc -> if j < phase_shift then (j, v) :: acc else acc)
+        last []
+      |> List.sort (fun a b -> compare b a)
+    in
+    let steps = ref [] in
+    let emit s = steps := s :: !steps in
+    for j = 0 to m - 1 do
+      let v = var_of_action actions.(j) in
+      if Hashtbl.find first v = j then emit (Acquire (v, initial_mode v));
+      if upgrade_at v = Some j then emit (Acquire (v, Exclusive));
+      if j = phase_shift then
+        List.iter (fun (_, w) -> emit (Release w)) early_releases;
+      emit (Do { Rw_model.id = Names.step i j; action = actions.(j) });
+      if j >= phase_shift then
+        Hashtbl.iter (fun w j' -> if j' = j then emit (Release w)) last
+    done;
+    Array.of_list (List.rev !steps)
+  end
+
+let transform i actions =
+  transform_with i actions ~mode_for:(fun ~first_use v actions ->
+      match actions.(first_use) with
+      | Rw_model.Write w when String.equal w v -> Exclusive
+      | _ -> Shared)
+
+let exclusive_only i actions =
+  transform_with i actions ~mode_for:(fun ~first_use:_ _ _ -> Exclusive)
+
+let programs per_tx = Array.of_list (List.mapi transform per_tx)
+
+(* The lock table: variable -> holders with their mode. Upgrades succeed
+   when the requester is the sole holder. *)
+type table = (Names.var, (int * mode) list) Hashtbl.t
+
+let grantable (tbl : table) i = function
+  | Release _ | Do _ -> true
+  | Acquire (v, want) ->
+    let holders = try Hashtbl.find tbl v with Not_found -> [] in
+    List.for_all
+      (fun (j, held) -> j = i || compatible held want)
+      holders
+
+let apply (tbl : table) i = function
+  | Do _ -> ()
+  | Acquire (v, want) ->
+    let holders = try Hashtbl.find tbl v with Not_found -> [] in
+    Hashtbl.replace tbl v ((i, want) :: List.remove_assoc i holders)
+  | Release v ->
+    let holders = try Hashtbl.find tbl v with Not_found -> [] in
+    (match List.remove_assoc i holders with
+    | [] -> Hashtbl.remove tbl v
+    | rest -> Hashtbl.replace tbl v rest)
+
+let legal progs il =
+  let n = Array.length progs in
+  let progress = Array.make n 0 in
+  let tbl : table = Hashtbl.create 16 in
+  let ok = ref true in
+  Array.iter
+    (fun i ->
+      if !ok then
+        if i < 0 || i >= n || progress.(i) >= Array.length progs.(i) then
+          ok := false
+        else begin
+          let s = progs.(i).(progress.(i)) in
+          if grantable tbl i s then begin
+            apply tbl i s;
+            progress.(i) <- progress.(i) + 1
+          end
+          else ok := false
+        end)
+    il;
+  !ok
+  && Array.for_all2 (fun p prog -> p = Array.length prog) progress progs
+  && Hashtbl.length tbl = 0
+
+let project progs il =
+  let n = Array.length progs in
+  let progress = Array.make n 0 in
+  let actions = ref [] in
+  Array.iter
+    (fun i ->
+      (match progs.(i).(progress.(i)) with
+      | Do s -> actions := s :: !actions
+      | Acquire _ | Release _ -> ());
+      progress.(i) <- progress.(i) + 1)
+    il;
+  Array.of_list (List.rev !actions)
+
+let outputs progs =
+  let fmt = Array.map Array.length progs in
+  let seen = Hashtbl.create 64 in
+  Combin.Interleave.fold fmt
+    (fun acc il ->
+      if legal progs il then begin
+        let h = project progs il in
+        if Hashtbl.mem seen h then acc
+        else begin
+          Hashtbl.add seen h ();
+          h :: acc
+        end
+      end
+      else acc)
+    []
+  |> List.rev
+
+let passes progs (h : Rw_model.history) =
+  let n = Array.length progs in
+  let progress = Array.make n 0 in
+  let tbl : table = Hashtbl.create 16 in
+  let ok = ref true in
+  let exec i s =
+    if grantable tbl i s then begin
+      apply tbl i s;
+      progress.(i) <- progress.(i) + 1
+    end
+    else ok := false
+  in
+  let eager_releases i =
+    let continue = ref true in
+    while !ok && !continue do
+      let p = progress.(i) in
+      if p < Array.length progs.(i) then
+        match progs.(i).(p) with
+        | Release _ as s -> exec i s
+        | Acquire _ | Do _ -> continue := false
+      else continue := false
+    done
+  in
+  Array.iter
+    (fun (s : Rw_model.step) ->
+      if !ok then begin
+        let i = s.Rw_model.id.Names.tx in
+        let continue = ref true in
+        while !ok && !continue do
+          let p = progress.(i) in
+          if p >= Array.length progs.(i) then ok := false
+          else begin
+            let step = progs.(i).(p) in
+            exec i step;
+            match step with
+            | Do s' ->
+              if not (Names.equal_step s.Rw_model.id s'.Rw_model.id) then
+                ok := false;
+              continue := false
+            | Acquire _ | Release _ -> ()
+          end
+        done;
+        if !ok then eager_releases i
+      end)
+    h;
+  !ok && Hashtbl.length tbl = 0
+
+let is_two_phase prog =
+  let released = ref false in
+  Array.for_all
+    (fun s ->
+      match s with
+      | Release _ ->
+        released := true;
+        true
+      | Acquire _ -> not !released
+      | Do _ -> true)
+    prog
+
+let pp_step ppf = function
+  | Acquire (v, Shared) -> Format.fprintf ppf "lock-S %s" v
+  | Acquire (v, Exclusive) -> Format.fprintf ppf "lock-X %s" v
+  | Release v -> Format.fprintf ppf "unlock %s" v
+  | Do s ->
+    let letter =
+      match s.Rw_model.action with Rw_model.Read _ -> "R" | Rw_model.Write _ -> "W"
+    in
+    Format.fprintf ppf "%s%d(%s)" letter
+      (s.Rw_model.id.Names.tx + 1)
+      (var_of_action s.Rw_model.action)
+
+let pp_program ppf prog =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun k s ->
+      if k > 0 then Format.fprintf ppf "@ ";
+      pp_step ppf s)
+    prog;
+  Format.fprintf ppf "@]"

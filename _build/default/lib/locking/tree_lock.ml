@@ -1,0 +1,162 @@
+open Core
+
+type hierarchy = (Names.var * Names.var) list
+
+let parent h v = List.assoc_opt v h
+
+let path_to_root h v =
+  let rec go v acc seen =
+    if List.mem v seen then invalid_arg "Tree_lock: cyclic hierarchy";
+    match parent h v with
+    | None -> List.rev (v :: acc)
+    | Some p -> go p (v :: acc) (v :: seen)
+  in
+  go v [] []
+
+let spanning_subtree h vars =
+  match List.sort_uniq String.compare vars with
+  | [] -> []
+  | vars ->
+    (* paths from each var to the root, root-first *)
+    let paths = List.map (fun v -> List.rev (path_to_root h v)) vars in
+    (match paths with
+    | [] -> []
+    | first :: rest ->
+      let root = List.hd first in
+      List.iter
+        (fun p ->
+          if not (String.equal (List.hd p) root) then
+            invalid_arg "Tree_lock: accesses span several trees")
+        rest;
+      (* common prefix of all root-first paths = ancestors of the lca *)
+      let rec common_len k =
+        let ok =
+          List.for_all (fun p -> List.length p > k) paths
+          && List.for_all
+               (fun p -> String.equal (List.nth p k) (List.nth first k))
+               rest
+        in
+        if ok then common_len (k + 1) else k
+      in
+      let lca_depth = common_len 0 - 1 in
+      (* nodes of the subtree: everything on some path at depth >= lca *)
+      let nodes =
+        List.concat_map
+          (fun p -> List.filteri (fun k _ -> k >= lca_depth) p)
+          paths
+        |> List.sort_uniq String.compare
+      in
+      (* preorder: sort by depth (root-first paths give depth by index) *)
+      let depth v =
+        let rec find p k =
+          match p with
+          | [] -> None
+          | w :: rest -> if String.equal w v then Some k else find rest (k + 1)
+        in
+        List.fold_left
+          (fun acc p -> match acc with Some _ -> acc | None -> find p 0)
+          None paths
+        |> Option.get
+      in
+      List.sort
+        (fun a b ->
+          match Int.compare (depth a) (depth b) with
+          | 0 -> String.compare a b
+          | c -> c)
+        nodes)
+
+(* Crabbing placement. For each subtree node [v]:
+   - anchor a(v) = index of the first action accessing anything in v's
+     subtree: [lock v] goes just before that action (ancestors first,
+     so a parent is always already held when a child is locked);
+   - release r(v) = max(last access of v itself, anchors of v's children
+     in the subtree): [unlock v] goes right after action r(v), which is
+     after every child's lock event. Early releases before later locks
+     make the policy non-two-phase, yet the tree protocol keeps it
+     correct. *)
+let transform_transaction h i accesses =
+  let m = Array.length accesses in
+  if m = 0 then []
+  else begin
+    let nodes = spanning_subtree h (Array.to_list accesses) in
+    let in_subtree v = List.exists (String.equal v) nodes in
+    let first = Hashtbl.create 8 and last = Hashtbl.create 8 in
+    Array.iteri
+      (fun j v ->
+        if not (Hashtbl.mem first v) then Hashtbl.add first v j;
+        Hashtbl.replace last v j)
+      accesses;
+    (* children of v inside the subtree *)
+    let children v =
+      List.filter
+        (fun w ->
+          match parent h w with
+          | Some p -> String.equal p v
+          | None -> false)
+        nodes
+    in
+    let anchor = Hashtbl.create 8 in
+    (* compute anchors bottom-up: reverse preorder visits children first *)
+    List.iter
+      (fun v ->
+        let own = Hashtbl.find_opt first v in
+        let kids =
+          List.filter_map (fun c -> Hashtbl.find_opt anchor c) (children v)
+        in
+        let candidates =
+          (match own with Some j -> [ j ] | None -> []) @ kids
+        in
+        match candidates with
+        | [] ->
+          (* a node with no access and no anchored child cannot be in the
+             spanning subtree *)
+          assert false
+        | js -> Hashtbl.add anchor v (List.fold_left min max_int js))
+      (List.rev nodes);
+    (* A node may release as soon as its own accesses are done and all
+       its children are locked. Children anchored at action [j] are
+       locked in the batch just before [j]; if that batch comes after
+       the node's last access, the unlock can join the same batch
+       (release "pre" action [j]); otherwise it follows the node's last
+       access (release "post"). *)
+    let release_pre = Hashtbl.create 8 and release_post = Hashtbl.create 8 in
+    List.iter
+      (fun v ->
+        let own =
+          match Hashtbl.find_opt last v with Some j -> j | None -> -1
+        in
+        let kid_anchor =
+          List.fold_left
+            (fun acc c -> max acc (Hashtbl.find anchor c))
+            (-1) (children v)
+        in
+        if kid_anchor > own then Hashtbl.add release_pre v kid_anchor
+        else Hashtbl.add release_post v (max own kid_anchor))
+      nodes;
+    ignore in_subtree;
+    let steps = ref [] in
+    let emit s = steps := s :: !steps in
+    for j = 0 to m - 1 do
+      (* locks anchored at j, ancestors before descendants (preorder) *)
+      List.iter
+        (fun v -> if Hashtbl.find anchor v = j then emit (Locked.Lock v))
+        nodes;
+      (* releases enabled by this lock batch, descendants first *)
+      List.iter
+        (fun v ->
+          if Hashtbl.find_opt release_pre v = Some j then
+            emit (Locked.Unlock v))
+        (List.rev nodes);
+      emit (Locked.Action (Names.step i j));
+      List.iter
+        (fun v ->
+          if Hashtbl.find_opt release_post v = Some j then
+            emit (Locked.Unlock v))
+        (List.rev nodes)
+    done;
+    List.rev !steps
+  end
+
+let policy h = Policy.separable "tree" (transform_transaction h)
+
+let apply h syntax = (policy h).Policy.apply syntax

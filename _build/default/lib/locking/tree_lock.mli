@@ -1,0 +1,41 @@
+open Core
+
+(** Tree locking in the style of [Silberschatz and Kedem 78] (§5.4).
+
+    Assumes a {e hierarchical} database: the variables form a rooted
+    tree. A transaction locks the minimal connected subtree spanning its
+    accesses, acquiring locks in preorder (so a node's parent is always
+    held when the node is locked) and releasing each node as soon as it
+    is no longer needed — after the lock phase for unaccessed connector
+    nodes, after the last access for accessed ones. The resulting
+    policy is {e not} two-phase, yet correct; it beats 2PL on
+    tree-structured workloads precisely because it uses the structure of
+    the variables — the loophole §5.4 identifies in 2PL's optimality,
+    which only quantifies over policies that are correct under arbitrary
+    renamings of {e unstructured} variables.
+
+    The placement "crabs" down the tree: a node is locked just before
+    the first action touching its subtree (so its parent, whose anchor
+    is no later, is still held), and unlocked right after the last of
+    its own accesses and its children's lock anchors. Sibling subtrees
+    worked on in sequence therefore produce unlock-then-lock patterns —
+    the policy is not two-phase, yet correct. *)
+
+type hierarchy = (Names.var * Names.var) list
+(** [(child, parent)] pairs; variables absent as children are roots.
+    Must be acyclic. *)
+
+val policy : hierarchy -> Policy.t
+(** Raises [Invalid_argument] (at application time) if a transaction's
+    accesses do not lie in a single tree of the forest, or if the
+    hierarchy has a cycle. *)
+
+val apply : hierarchy -> Syntax.t -> Locked.t
+
+val path_to_root : hierarchy -> Names.var -> Names.var list
+(** The chain [v; parent v; ...; root]. *)
+
+val spanning_subtree : hierarchy -> Names.var list -> Names.var list
+(** The minimal connected subtree containing the given variables, in
+    preorder (ancestors before descendants). The subtree is rooted at
+    the deepest common ancestor. *)

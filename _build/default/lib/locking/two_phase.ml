@@ -1,0 +1,50 @@
+open Core
+
+let lock_name v = v
+
+(* First and last access position of each variable, in access order. *)
+let usage accesses =
+  let first = Hashtbl.create 8 and last = Hashtbl.create 8 in
+  Array.iteri
+    (fun j v ->
+      if not (Hashtbl.mem first v) then Hashtbl.add first v j;
+      Hashtbl.replace last v j)
+    accesses;
+  (first, last)
+
+let transform_transaction i accesses =
+  let m = Array.length accesses in
+  if m = 0 then []
+  else begin
+    let first, last = usage accesses in
+    (* the phase shift: position of the action triggering the last lock *)
+    let phase_shift = Hashtbl.fold (fun _ j acc -> max j acc) first 0 in
+    let steps = ref [] in
+    let emit s = steps := s :: !steps in
+    (* variables unlocked strictly before their own position rule fires:
+       those whose last use precedes the phase shift, released in order
+       of last use right after the final lock is taken *)
+    let early_unlocks =
+      Hashtbl.fold
+        (fun v j acc -> if j < phase_shift then (j, v) :: acc else acc)
+        last []
+      |> List.sort (fun a b -> compare b a)
+      (* descending last-use, matching Figure 2's unlock X before Y *)
+    in
+    for j = 0 to m - 1 do
+      let v = accesses.(j) in
+      if Hashtbl.find first v = j then emit (Locked.Lock (lock_name v));
+      if j = phase_shift then
+        List.iter (fun (_, w) -> emit (Locked.Unlock (lock_name w))) early_unlocks;
+      emit (Locked.Action (Names.step i j));
+      if j >= phase_shift then
+        Hashtbl.iter
+          (fun w j' -> if j' = j then emit (Locked.Unlock (lock_name w)))
+          last
+    done;
+    List.rev !steps
+  end
+
+let policy = Policy.separable "2PL" transform_transaction
+
+let apply = policy.Policy.apply

@@ -1,0 +1,25 @@
+open Core
+
+(** The two-phase locking policy 2PL of [Eswaran et al. 76] (§5.2).
+
+    For each transaction: associate the lock bit [X] with every accessed
+    variable [x]; insert [lock X] immediately before the first access of
+    [x]; insert [unlock X] as early as possible subject to the two-phase
+    rule (no lock after the first unlock). The canonical placement
+    reproduces Figure 2: once the last [lock] has been emitted, all
+    variables whose last access has already happened are unlocked right
+    away (before the next action), and every other variable is unlocked
+    immediately after its last access. *)
+
+val lock_name : Names.var -> Locked.lock_var
+(** The lock bit associated with a variable (here: the same name —
+    "X is the lock-bit of x"). *)
+
+val transform_transaction : int -> Names.var array -> Locked.step list
+(** The per-transaction (separable) transformation for transaction [i];
+    exposed for reuse by 2PL′ and for the Figure 2 bench. *)
+
+val policy : Policy.t
+(** The 2PL policy. *)
+
+val apply : Syntax.t -> Locked.t

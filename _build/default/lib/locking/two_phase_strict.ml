@@ -1,0 +1,32 @@
+open Core
+
+let transform_transaction i accesses =
+  let m = Array.length accesses in
+  if m = 0 then []
+  else begin
+    let first = Hashtbl.create 8 in
+    Array.iteri
+      (fun j v -> if not (Hashtbl.mem first v) then Hashtbl.add first v j)
+      accesses;
+    let body =
+      List.concat
+        (List.init m (fun j ->
+             let v = accesses.(j) in
+             let pre =
+               if Hashtbl.find first v = j then
+                 [ Locked.Lock (Two_phase.lock_name v) ]
+               else []
+             in
+             pre @ [ Locked.Action (Names.step i j) ]))
+    in
+    let unlocks =
+      Hashtbl.fold (fun v _ acc -> v :: acc) first []
+      |> List.sort String.compare
+      |> List.map (fun v -> Locked.Unlock (Two_phase.lock_name v))
+    in
+    body @ unlocks
+  end
+
+let policy = Policy.separable "strict-2PL" transform_transaction
+
+let apply = policy.Policy.apply

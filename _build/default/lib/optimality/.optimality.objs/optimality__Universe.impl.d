@@ -1,0 +1,1 @@
+lib/optimality/universe.ml: Array Core Exec Expr List Printf Seq State Syntax System

@@ -1,0 +1,1 @@
+lib/optimality/universe.mli: Core Expr Names Seq State Syntax System

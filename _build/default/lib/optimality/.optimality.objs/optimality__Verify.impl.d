@@ -1,0 +1,1 @@
+lib/optimality/verify.ml: Core Exec Fixpoint Format List Schedule Seq Syntax Universe

@@ -1,0 +1,1 @@
+lib/optimality/verify.mli: Core Format Names Schedule Seq State Syntax System

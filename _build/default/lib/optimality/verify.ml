@@ -1,0 +1,62 @@
+open Core
+
+type report = {
+  universe_size : int;
+  n_schedules : int;
+  intersection : Schedule.t list;
+  predicted : Schedule.t list;
+  matches : bool;
+  gap : Schedule.t list;
+}
+
+let intersection_c ~probes universe fmt =
+  let all = Schedule.all fmt in
+  let surviving = ref all in
+  let size = ref 0 in
+  Seq.iter
+    (fun sys ->
+      incr size;
+      surviving :=
+        List.filter (fun h -> Exec.correct_schedule sys ~probes h) !surviving)
+    universe;
+  (!surviving, !size)
+
+let diff a b = List.filter (fun h -> not (List.exists (Schedule.equal h) b)) a
+
+let make_report intersection universe_size fmt predicted =
+  {
+    universe_size;
+    n_schedules = Schedule.count fmt;
+    intersection;
+    predicted;
+    matches =
+      Fixpoint.subset intersection predicted
+      && Fixpoint.subset predicted intersection;
+    gap = diff intersection predicted;
+  }
+
+let theorem2_report ~k ~fmt ~vars =
+  let probes = Universe.states ~k ~vars in
+  let universe = Universe.systems ~k ~fmt ~vars () in
+  let intersection, size = intersection_c ~probes universe fmt in
+  make_report intersection size fmt (Fixpoint.serial_only fmt)
+
+let theorem3_report ~k syntax =
+  let fmt = Syntax.format syntax in
+  let vars = Syntax.vars syntax in
+  let probes = Universe.states ~k ~vars in
+  let universe = Universe.systems ~k ~syntaxes:[ syntax ] ~fmt ~vars () in
+  let intersection, size = intersection_c ~probes universe fmt in
+  make_report intersection size fmt (Fixpoint.sr_only syntax)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>universe: %d systems, |H| = %d@ intersection: %d schedule(s)@ \
+     predicted: %d schedule(s)@ matches: %b@ gap: %d schedule(s)%a@]"
+    r.universe_size r.n_schedules
+    (List.length r.intersection)
+    (List.length r.predicted)
+    r.matches (List.length r.gap)
+    (fun ppf gap ->
+      List.iter (fun h -> Format.fprintf ppf "@   %a" Schedule.pp h) gap)
+    r.gap

@@ -1,0 +1,42 @@
+open Core
+
+(** Exhaustive verification of the optimality theorems on
+    micro-universes.
+
+    For an information level realised as an explicit finite universe
+    [I], the optimal fixpoint set is [∩_{T'∈I} C(T')] (Theorem 1 and its
+    corollary). These reports compute that intersection {e by brute
+    force} — every schedule against every system against every state —
+    and compare it with the set the theorem predicts.
+
+    Over a finite domain the minimum-information intersection is exactly
+    the serial schedules (the Theorem 2 adversary — increment /
+    decrement / double with [IC = {x = 0}] — lives inside the universe:
+    [2·(0+1)−1 = 1 ≠ 0] holds in every [Z_k], [k ≥ 2]). The Theorem 3
+    (syntactic-level) adversary needs Herbrand strings, which no finite
+    domain contains, so the finite intersection can be strictly larger
+    than [SR(T)]; the report measures that gap. *)
+
+type report = {
+  universe_size : int;   (** systems satisfying the basic assumption *)
+  n_schedules : int;     (** |H| *)
+  intersection : Schedule.t list;  (** ∩ C(T') over the universe *)
+  predicted : Schedule.t list;     (** the theorem's fixpoint set *)
+  matches : bool;        (** intersection = predicted *)
+  gap : Schedule.t list; (** intersection \ predicted *)
+}
+
+val intersection_c :
+  probes:State.t list -> System.t Seq.t -> int array -> Schedule.t list * int
+(** [(∩ C(T'), universe size)] for an explicit universe. *)
+
+val theorem2_report : k:int -> fmt:int array -> vars:Names.var list -> report
+(** Minimum information: universe = all systems of the format over the
+    variables; prediction = serial schedules. *)
+
+val theorem3_report : k:int -> Syntax.t -> report
+(** Complete syntactic information: universe = all semantics and ICs
+    over the fixed syntax; prediction = [SR(T)] (conflict test). The
+    [gap] shows what a finite domain cannot refute. *)
+
+val pp_report : Format.formatter -> report -> unit

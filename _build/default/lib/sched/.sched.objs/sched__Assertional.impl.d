@@ -1,0 +1,1 @@
+lib/sched/assertional.ml: Array Core Expr List Names Scheduler State Syntax System

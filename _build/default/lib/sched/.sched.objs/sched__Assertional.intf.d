@@ -1,0 +1,1 @@
+lib/sched/assertional.mli: Core Expr Scheduler State System

@@ -1,0 +1,1 @@
+lib/sched/driver.ml: Array Combin Core Fun List Names Printf Queue Random Schedule Scheduler

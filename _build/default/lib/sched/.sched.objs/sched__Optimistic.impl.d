@@ -1,0 +1,1 @@
+lib/sched/optimistic.ml: Array Core Expr Hashtbl List Names Scheduler State Syntax System

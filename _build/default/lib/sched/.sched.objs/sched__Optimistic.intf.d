@@ -1,0 +1,1 @@
+lib/sched/optimistic.mli: Core Scheduler State System

@@ -1,0 +1,1 @@
+lib/sched/serial_sched.ml: Array Core Names Scheduler

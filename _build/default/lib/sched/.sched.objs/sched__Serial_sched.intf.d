@@ -1,0 +1,1 @@
+lib/sched/serial_sched.mli: Scheduler

@@ -1,0 +1,1 @@
+lib/sched/sgt.ml: Array Core Digraph Hashtbl List Names Scheduler Syntax

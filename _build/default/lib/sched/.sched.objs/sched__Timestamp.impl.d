@@ -1,0 +1,1 @@
+lib/sched/timestamp.ml: Core Hashtbl Names Scheduler Syntax

@@ -1,0 +1,1 @@
+lib/sched/timestamp.mli: Core Scheduler Syntax

@@ -1,0 +1,1 @@
+lib/sched/tpl_sched.ml: Array Core Digraph Hashtbl List Locking Names Scheduler

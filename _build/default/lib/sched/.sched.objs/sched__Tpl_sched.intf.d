@@ -1,0 +1,1 @@
+lib/sched/tpl_sched.mli: Core Locking Scheduler Syntax

@@ -1,0 +1,184 @@
+open Core
+
+type stats = {
+  output : Schedule.t;
+  delays : int;
+  restarts : int;
+  deadlocks : int;
+  waiting : int;
+  grants : int;
+}
+
+let zero_delay s = s.delays = 0 && s.restarts = 0
+
+type state = {
+  sched : Scheduler.t;
+  fmt : int array;
+  next_step : int array;       (* next step index, current incarnation *)
+  outstanding : int array;     (* submitted but ungranted requests *)
+  submit_times : int Queue.t array;
+  incarnation : int array;
+  mutable blocked : int list;  (* FIFO of delayed transactions *)
+  mutable clock : int;         (* driver events *)
+  mutable log : (Names.step_id * int) list;  (* grant, incarnation (rev) *)
+  mutable delays : int;
+  mutable restarts : int;
+  mutable deadlocks : int;
+  mutable waiting : int;
+  mutable grants : int;
+}
+
+let init sched fmt =
+  let n = Array.length fmt in
+  {
+    sched;
+    fmt;
+    next_step = Array.make n 0;
+    outstanding = Array.make n 0;
+    submit_times = Array.init n (fun _ -> Queue.create ());
+    incarnation = Array.make n 0;
+    blocked = [];
+    clock = 0;
+    log = [];
+    delays = 0;
+    restarts = 0;
+    deadlocks = 0;
+    waiting = 0;
+    grants = 0;
+  }
+
+let in_queue st i = List.mem i st.blocked
+let enqueue st i = if not (in_queue st i) then st.blocked <- st.blocked @ [ i ]
+let dequeue st i = st.blocked <- List.filter (fun j -> j <> i) st.blocked
+
+let completed st i =
+  st.next_step.(i) >= st.fmt.(i) && st.outstanding.(i) = 0
+
+let do_abort st i =
+  st.restarts <- st.restarts + 1;
+  st.sched.Scheduler.on_abort i;
+  (* every already-granted step must be requested again *)
+  let granted = st.next_step.(i) in
+  st.next_step.(i) <- 0;
+  st.outstanding.(i) <- st.outstanding.(i) + granted;
+  for _ = 1 to granted do
+    Queue.add st.clock st.submit_times.(i)
+  done;
+  st.incarnation.(i) <- st.incarnation.(i) + 1
+
+let do_grant st (id : Names.step_id) =
+  st.sched.Scheduler.commit id;
+  st.clock <- st.clock + 1;
+  st.grants <- st.grants + 1;
+  let submitted = Queue.pop st.submit_times.(id.Names.tx) in
+  st.waiting <- st.waiting + (st.clock - 1 - submitted);
+  st.next_step.(id.Names.tx) <- id.Names.idx + 1;
+  st.outstanding.(id.Names.tx) <- st.outstanding.(id.Names.tx) - 1;
+  st.log <- (id, st.incarnation.(id.Names.tx)) :: st.log
+
+(* Grant as many outstanding requests of [i] as possible. Returns true
+   if at least one step was granted. *)
+let try_drain st i =
+  let made_progress = ref false in
+  let continue = ref true in
+  while !continue && st.outstanding.(i) > 0 do
+    let id = Names.step i st.next_step.(i) in
+    match st.sched.Scheduler.attempt id with
+    | Scheduler.Grant ->
+      do_grant st id;
+      made_progress := true
+    | Scheduler.Delay ->
+      st.delays <- st.delays + 1;
+      enqueue st i;
+      continue := false
+    | Scheduler.Abort ->
+      do_abort st i;
+      (* retried on a later scan, after the transactions it yielded to *)
+      dequeue st i;
+      enqueue st i;
+      made_progress := true;
+      continue := false
+  done;
+  if st.outstanding.(i) = 0 then dequeue st i;
+  !made_progress
+
+(* Repeatedly scan the FIFO queue, restarting from the head after every
+   grant, until a full pass yields nothing. *)
+let process_queue st =
+  let continue = ref true in
+  while !continue do
+    let rec scan = function
+      | [] -> false
+      | i :: rest -> if try_drain st i then true else scan rest
+    in
+    continue := scan st.blocked
+  done
+
+let resolve_stall st =
+  let stuck = List.filter (fun i -> st.outstanding.(i) > 0) st.blocked in
+  match st.sched.Scheduler.victim stuck with
+  | Some v ->
+    st.deadlocks <- st.deadlocks + 1;
+    do_abort st v;
+    (* the victim yields: everyone it was blocking goes first *)
+    dequeue st v;
+    enqueue st v
+  | None ->
+    failwith
+      (Printf.sprintf "Driver.run: %s cannot resolve a stall"
+         st.sched.Scheduler.name)
+
+let run sched ~fmt ~arrivals =
+  let st = init sched fmt in
+  let total_arrivals = Array.length arrivals in
+  Array.iter
+    (fun i ->
+      st.clock <- st.clock + 1;
+      st.outstanding.(i) <- st.outstanding.(i) + 1;
+      Queue.add st.clock st.submit_times.(i);
+      if in_queue st i then ()
+      else if try_drain st i then process_queue st)
+    arrivals;
+  (* drain the tail; bound the work to defend against livelock *)
+  let budget = ref (100 * (total_arrivals + 1) * (Array.length fmt + 1)) in
+  let all_done () =
+    Array.for_all (fun i -> completed st i) (Array.init (Array.length fmt) Fun.id)
+  in
+  while not (all_done ()) do
+    decr budget;
+    if !budget < 0 then failwith "Driver.run: livelock";
+    let before = st.grants in
+    process_queue st;
+    if st.grants = before && not (all_done ()) then resolve_stall st
+  done;
+  let output =
+    List.rev st.log
+    |> List.filter_map (fun ((id : Names.step_id), inc) ->
+           if inc = st.incarnation.(id.Names.tx) then Some id else None)
+    |> Array.of_list
+  in
+  {
+    output;
+    delays = st.delays;
+    restarts = st.restarts;
+    deadlocks = st.deadlocks;
+    waiting = st.waiting;
+    grants = st.grants;
+  }
+
+let fixpoint_of mk fmt =
+  List.filter
+    (fun h ->
+      let s = run (mk ()) ~fmt ~arrivals:(Schedule.to_interleaving h) in
+      zero_delay s && Schedule.equal s.output h)
+    (Schedule.all fmt)
+
+let zero_delay_fraction mk ~fmt ~samples ~seed =
+  let stt = Random.State.make [| seed |] in
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    let arrivals = Combin.Interleave.random stt fmt in
+    let s = run (mk ()) ~fmt ~arrivals in
+    if zero_delay s then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples

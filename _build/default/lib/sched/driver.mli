@@ -1,0 +1,43 @@
+open Core
+
+(** The request-stream driver.
+
+    Feeds an arrival stream (an interleaving of the format — the history
+    the users would produce with no interference) to a scheduler,
+    queueing delayed requests FIFO and retrying them after every grant.
+    When the stream is exhausted, remaining requests are retried until
+    everything completes; a stall (no grantable request) is resolved by
+    aborting the scheduler's chosen victim, counting a {e deadlock}.
+
+    An aborted transaction restarts from its first step; its outstanding
+    requests are replayed. The final [output] is the committed schedule
+    (grants of aborted incarnations excluded) and is always a legal
+    schedule of the format. *)
+
+type stats = {
+  output : Schedule.t;
+  delays : int;      (** requests that could not be granted immediately *)
+  restarts : int;    (** transaction aborts (incl. deadlock victims) *)
+  deadlocks : int;   (** stalls the driver had to resolve *)
+  waiting : int;
+      (** total waiting, in events: for each granted request, the number
+          of driver events between its (latest) submission and its
+          grant *)
+  grants : int;      (** total grants, re-executions included *)
+}
+
+val zero_delay : stats -> bool
+(** No request was ever delayed or aborted — the input history was in
+    the scheduler's fixpoint set. *)
+
+val run : Scheduler.t -> fmt:int array -> arrivals:int array -> stats
+(** Raises [Failure] if the scheduler cannot resolve a stall. *)
+
+val fixpoint_of : (unit -> Scheduler.t) -> int array -> Schedule.t list
+(** The empirical fixpoint set: every schedule of the format passed with
+    zero delay by a fresh scheduler instance. Small formats only. *)
+
+val zero_delay_fraction :
+  (unit -> Scheduler.t) -> fmt:int array -> samples:int -> seed:int -> float
+(** Monte-Carlo estimate of [|P| / |H|] over uniformly random arrival
+    histories. *)

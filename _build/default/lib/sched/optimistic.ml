@@ -1,0 +1,74 @@
+open Core
+
+type workspace = {
+  mutable reads : (Names.var * int) list;
+      (** variables read from the committed state, with the version seen *)
+  mutable writes : State.t;  (** private buffered writes *)
+  mutable locals : Expr.Value.t option array;
+}
+
+let create ~system ~initial () =
+  let fmt = System.format system in
+  let n = Array.length fmt in
+  let committed = ref initial in
+  let versions : (Names.var, int) Hashtbl.t = Hashtbl.create 16 in
+  let version v = try Hashtbl.find versions v with Not_found -> 0 in
+  let commit_log = ref [] in
+  let fresh i =
+    { reads = []; writes = State.empty; locals = Array.make fmt.(i) None }
+  in
+  let ws = Array.init n fresh in
+  let read_var i v =
+    match State.get ws.(i).writes v with
+    | value -> value
+    | exception Not_found ->
+      let value = State.get !committed v in
+      if not (List.mem_assoc v ws.(i).reads) then
+        ws.(i).reads <- (v, version v) :: ws.(i).reads;
+      value
+  in
+  let execute_step (id : Names.step_id) =
+    let i = id.Names.tx in
+    let x = Syntax.var system.System.syntax id in
+    let t_read = read_var i x in
+    ws.(i).locals.(id.Names.idx) <- Some t_read;
+    let lookup k =
+      match ws.(i).locals.(k) with
+      | Some v -> v
+      | None -> raise (Expr.Ast.Type_error "undeclared local")
+    in
+    let written =
+      Expr.Ast.eval ~locals:lookup
+        ~globals:(fun _ -> raise (Expr.Ast.Type_error "global in phi"))
+        (System.phi system id)
+    in
+    ws.(i).writes <- State.set ws.(i).writes x written
+  in
+  let valid i =
+    List.for_all (fun (v, seen) -> version v = seen) ws.(i).reads
+  in
+  let attempt (id : Names.step_id) =
+    let i = id.Names.tx in
+    let is_last = id.Names.idx = fmt.(i) - 1 in
+    if is_last then
+      (* validation: simulate the step first to complete the read set *)
+      if valid i then Scheduler.Grant else Scheduler.Abort
+    else Scheduler.Grant
+  in
+  let commit (id : Names.step_id) =
+    let i = id.Names.tx in
+    execute_step id;
+    if id.Names.idx = fmt.(i) - 1 then begin
+      (* validation already succeeded in attempt; publish the writes *)
+      State.bindings ws.(i).writes
+      |> List.iter (fun (v, value) ->
+             committed := State.set !committed v value;
+             Hashtbl.replace versions v (version v + 1));
+      commit_log := i :: !commit_log;
+      ws.(i) <- fresh i
+    end
+  in
+  let on_abort i = ws.(i) <- fresh i in
+  ( Scheduler.make ~name:"OCC" ~attempt ~commit ~on_abort (),
+    (fun () -> !committed),
+    fun () -> List.rev !commit_log )

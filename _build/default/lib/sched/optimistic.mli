@@ -1,0 +1,24 @@
+open Core
+
+(** Optimistic concurrency control — the validation-based approach Kung
+    developed on top of this paper's framework (Kung–Robinson 1981),
+    included as the non-locking literature baseline.
+
+    Transactions run against private workspaces: a step reads the
+    transaction's own pending write if it has one, otherwise the
+    committed database, recording the version it saw; the step's write
+    is buffered. At the transaction's last step it {e validates}: if any
+    variable it read from the committed state has been committed by
+    another transaction since, it aborts and restarts; otherwise all its
+    writes commit atomically.
+
+    Requests are therefore never delayed — all the cost appears as
+    restarts — and the committed effect always equals a serial execution
+    in commit order (property-tested). *)
+
+val create :
+  system:System.t -> initial:State.t -> unit ->
+  Scheduler.t * (unit -> State.t) * (unit -> int list)
+(** [(scheduler, committed_state, commit_order)]: the second component
+    reads the committed database, the third the transaction commit
+    order so far (most recent last). *)

@@ -1,0 +1,51 @@
+open Core
+
+(** Online schedulers.
+
+    The paper models a scheduler as a mapping from request histories to
+    correct schedules, realised operationally: step-execution requests
+    arrive one at a time (in each transaction's program order) and the
+    scheduler must {e grant} the step now, {e delay} it (it will be
+    retried after other grants), or {e abort} the requesting transaction
+    (it restarts from its first step — how timestamp and
+    optimistic-flavoured schedulers resolve conflicts).
+
+    A scheduler instance is stateful; [attempt] must be free of
+    observable side effects so the driver can poll delayed requests. *)
+
+type response = Grant | Delay | Abort
+
+type t = {
+  name : string;
+  attempt : Names.step_id -> response;
+      (** Decide about the next step of a transaction. *)
+  commit : Names.step_id -> unit;
+      (** Record that the step was granted (always directly after an
+          [attempt] that returned [Grant]). *)
+  on_abort : int -> unit;
+      (** The transaction restarts: discard all bookkeeping about it. *)
+  victim : int list -> int option;
+      (** Deadlock resolution: given the transactions blocked in a
+          stall, choose one to abort ([None] = scheduler cannot resolve;
+          the driver then fails). *)
+  detect : (int * Names.step_id) list -> int option;
+      (** Eager deadlock detection: given every blocked transaction with
+          its pending step, return a transaction that can provably never
+          be granted without an abort (a wait-for cycle member for
+          locking; any delayed requester for SGT, whose conflict edges
+          only accumulate), or [None] when the blockage may clear by
+          itself. Used by the timed simulation to avoid deferring
+          victim selection to the end of the run. *)
+}
+
+val make :
+  name:string ->
+  attempt:(Names.step_id -> response) ->
+  commit:(Names.step_id -> unit) ->
+  ?on_abort:(int -> unit) ->
+  ?victim:(int list -> int option) ->
+  ?detect:((int * Names.step_id) list -> int option) ->
+  unit ->
+  t
+(** Defaults: [on_abort] does nothing; [victim] picks the first blocked
+    transaction; [detect] reports nothing. *)

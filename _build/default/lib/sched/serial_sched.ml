@@ -1,0 +1,19 @@
+open Core
+
+let create ~fmt =
+  let active = ref None in
+  let attempt (id : Names.step_id) =
+    match !active with
+    | None -> Scheduler.Grant
+    | Some i -> if i = id.Names.tx then Scheduler.Grant else Scheduler.Delay
+  in
+  let commit (id : Names.step_id) =
+    if id.Names.idx = fmt.(id.Names.tx) - 1 then active := None
+    else active := Some id.Names.tx
+  in
+  let on_abort i =
+    match !active with
+    | Some j when j = i -> active := None
+    | Some _ | None -> ()
+  in
+  Scheduler.make ~name:"serial" ~attempt ~commit ~on_abort ()

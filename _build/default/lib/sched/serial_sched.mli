@@ -1,0 +1,9 @@
+(** The serial scheduler (Theorem 2): one transaction at a time.
+
+    Grants a step iff no transaction is currently active or the
+    requesting transaction is the active one; the active transaction
+    releases the floor when its last step is granted. Its fixpoint set
+    is exactly the serial schedules — optimal for minimum information
+    (the scheduler needs nothing beyond the format). *)
+
+val create : fmt:int array -> Scheduler.t

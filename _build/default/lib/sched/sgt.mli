@@ -1,0 +1,14 @@
+open Core
+
+(** The serialization-graph-testing scheduler — the {e realised} optimal
+    scheduler for complete syntactic information (Theorem 3).
+
+    Maintains the conflict graph of the granted prefix and grants a step
+    iff the graph stays acyclic. Because conflict serializability is
+    prefix-closed and coincides with the Herbrand notion [SR(T)] in the
+    paper's step model, the fixpoint set of this scheduler is exactly
+    [SR(T)]. A request that would close a cycle can never succeed later
+    (edges only accumulate), so stalls are resolved by aborting the
+    requester, whose edges are then removed. *)
+
+val create : syntax:Syntax.t -> Scheduler.t

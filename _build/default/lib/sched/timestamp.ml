@@ -1,0 +1,26 @@
+open Core
+
+let create ~syntax =
+  let clock = ref 0 in
+  let ts : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let watermark : (Names.var, int) Hashtbl.t = Hashtbl.create 16 in
+  let timestamp_of i =
+    match Hashtbl.find_opt ts i with
+    | Some t -> t
+    | None ->
+      incr clock;
+      Hashtbl.add ts i !clock;
+      !clock
+  in
+  let attempt (id : Names.step_id) =
+    let t = timestamp_of id.Names.tx in
+    let v = Syntax.var syntax id in
+    let w = try Hashtbl.find watermark v with Not_found -> 0 in
+    if t >= w then Scheduler.Grant else Scheduler.Abort
+  in
+  let commit (id : Names.step_id) =
+    let t = timestamp_of id.Names.tx in
+    Hashtbl.replace watermark (Syntax.var syntax id) t
+  in
+  let on_abort i = Hashtbl.remove ts i in
+  Scheduler.make ~name:"TO" ~attempt ~commit ~on_abort ()

@@ -1,0 +1,15 @@
+open Core
+
+(** Timestamp-ordering scheduler — the SDD-1-flavoured literature
+    baseline ([Bernstein et al. 78], implemented "by queues" rather than
+    locks).
+
+    Every transaction receives a timestamp at its first request; a step
+    on variable [v] is granted iff the transaction's timestamp is at
+    least the largest timestamp that has touched [v]; otherwise the
+    transaction {e aborts} and restarts with a fresh timestamp. In the
+    atomic read-modify-write step model every access is both a read and
+    a write, so a single per-variable watermark suffices. Never delays —
+    its cost shows up entirely as restarts. *)
+
+val create : syntax:Syntax.t -> Scheduler.t

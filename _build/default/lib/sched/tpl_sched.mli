@@ -1,0 +1,28 @@
+open Core
+
+(** A locking-policy scheduler: the lock-respecting scheduler driven by
+    any {!Locking.Policy.t} (2PL by default in the benches).
+
+    Each transaction executes its locked program; a step request runs
+    the pending segment of lock steps just before the action
+    (just-in-time acquisition) and is delayed if any lock is held by
+    another transaction. After an action, the immediately following
+    unlock steps release eagerly. Deadlocks surface as driver stalls;
+    the victim (the blocked transaction whose abort frees a wait-for
+    cycle, or the first blocked one) releases its locks and restarts.
+
+    Its zero-delay set is {!Locking.Locked.passes}' set — strictly inside
+    the SGT scheduler's fixpoint, which is the formal content of §5.4's
+    "2PL cannot be optimal as a scheduler". *)
+
+val create : policy:Locking.Policy.t -> syntax:Syntax.t -> Scheduler.t
+
+val create_2pl : syntax:Syntax.t -> Scheduler.t
+
+val wait_for_victim :
+  holders:(Locking.Locked.lock_var -> int option) ->
+  wanted:(int -> Locking.Locked.lock_var option) ->
+  int list ->
+  int option
+(** Exposed for tests: picks a transaction on a wait-for cycle if there
+    is one, else the first blocked transaction. *)

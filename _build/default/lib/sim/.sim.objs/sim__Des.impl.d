@@ -1,0 +1,1 @@
+lib/sim/des.ml: Array Core Float Format Int List Names Queue Random Sched Set Syntax

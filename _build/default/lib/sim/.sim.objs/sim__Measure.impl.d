@@ -1,0 +1,1 @@
+lib/sim/measure.ml: Combin Core Format List Locking Random Sched Syntax

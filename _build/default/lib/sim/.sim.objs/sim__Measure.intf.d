@@ -1,0 +1,1 @@
+lib/sim/measure.mli: Core Format Sched Syntax

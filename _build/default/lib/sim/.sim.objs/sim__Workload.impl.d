@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Array Core Expr List Printf Random Syntax System

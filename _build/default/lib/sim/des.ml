@@ -1,0 +1,229 @@
+open Core
+
+type params = {
+  arrival_rate : float;
+  exec_time : float;
+  sched_time : float;
+  seed : int;
+}
+
+type result = {
+  n_transactions : int;
+  makespan : float;
+  throughput : float;
+  avg_latency : float;
+  avg_scheduling : float;
+  avg_waiting : float;
+  avg_execution : float;
+  restarts : int;
+  deadlocks : int;
+}
+
+(* Future external events, ordered by time (with a tiebreaking id). *)
+module Events = Set.Make (struct
+  type t = float * int * [ `Arrival of int | `Resubmit of int | `Step_done of int ]
+
+  let compare (t1, i1, _) (t2, i2, _) =
+    match Float.compare t1 t2 with 0 -> Int.compare i1 i2 | c -> c
+end)
+
+type tx_stats = {
+  mutable arrival : float;
+  mutable completion : float;
+  mutable scheduling : float;
+  mutable waiting : float;
+  mutable execution : float;
+}
+
+let exponential st rate = -.log (1. -. Random.State.float st 1.) /. rate
+
+let run params ~syntax ~scheduler =
+  let fmt = Syntax.format syntax in
+  let n = Array.length fmt in
+  let sched = scheduler () in
+  let st = Random.State.make [| params.seed |] in
+  let stats =
+    Array.init n (fun _ ->
+        {
+          arrival = 0.;
+          completion = 0.;
+          scheduling = 0.;
+          waiting = 0.;
+          execution = 0.;
+        })
+  in
+  let restarts = ref 0 and deadlocks = ref 0 in
+  let tx_restarts = Array.make n 0 in
+  let next_step = Array.make n 0 in
+  let events = ref Events.empty in
+  let event_id = ref 0 in
+  let add_event t e =
+    incr event_id;
+    events := Events.add (t, !event_id, e) !events
+  in
+  (* Poisson arrivals *)
+  let t = ref 0. in
+  for i = 0 to n - 1 do
+    t := !t +. exponential st params.arrival_rate;
+    add_event !t (`Arrival i)
+  done;
+  (* the scheduler's FIFO request queue and the parked list *)
+  let queue : (int * float) Queue.t = Queue.create () in
+  let parked : (int * float) Queue.t = Queue.create () in
+  let sched_free = ref 0. in
+  let done_count = ref 0 in
+  let makespan = ref 0. in
+  let submit tx time = Queue.add (tx, time) queue in
+  (* parked requests wait until a grant changes the state; the parked
+     span is the paper's waiting time *)
+  let unpark now =
+    Queue.iter
+      (fun (tx, since) ->
+        stats.(tx).waiting <- stats.(tx).waiting +. (now -. since);
+        Queue.add (tx, now) queue)
+      parked;
+    Queue.clear parked
+  in
+  let blocked_list () =
+    Queue.fold
+      (fun acc (tx, _) -> (tx, Names.step tx next_step.(tx)) :: acc)
+      [] parked
+    |> List.rev
+  in
+  (* abort [v] at time [now]: release its bookkeeping, credit waiting to
+     everything parked, resubmit the victim with backoff and give the
+     others an immediate retry *)
+  let abort_victim now v =
+    incr deadlocks;
+    incr restarts;
+    tx_restarts.(v) <- tx_restarts.(v) + 1;
+    sched.Sched.Scheduler.on_abort v;
+    next_step.(v) <- 0;
+    let keep = Queue.create () in
+    Queue.iter
+      (fun (tx, since) ->
+        stats.(tx).waiting <- stats.(tx).waiting +. (now -. since);
+        if tx <> v then Queue.add (tx, now) keep)
+      parked;
+    Queue.clear parked;
+    Queue.transfer keep queue;
+    let backoff = params.exec_time *. float_of_int tx_restarts.(v) in
+    add_event (now +. backoff) (`Resubmit v)
+  in
+  let serve () =
+    (* serve the queue head; returns the decision completion time *)
+    let tx, submitted = Queue.pop queue in
+    let start = Float.max submitted !sched_free in
+    let decided = start +. params.sched_time in
+    sched_free := decided;
+    stats.(tx).scheduling <-
+      stats.(tx).scheduling +. (start -. submitted) +. params.sched_time;
+    let id = Names.step tx next_step.(tx) in
+    match sched.Sched.Scheduler.attempt id with
+    | Sched.Scheduler.Grant ->
+      sched.Sched.Scheduler.commit id;
+      next_step.(tx) <- next_step.(tx) + 1;
+      stats.(tx).execution <- stats.(tx).execution +. params.exec_time;
+      add_event (decided +. params.exec_time) (`Step_done tx);
+      unpark decided
+    | Sched.Scheduler.Delay -> (
+      Queue.add (tx, decided) parked;
+      (* eager deadlock detection: do not let a doomed request sit in
+         the parked list until the end of the run *)
+      match sched.Sched.Scheduler.detect (blocked_list ()) with
+      | None -> ()
+      | Some v -> abort_victim decided v)
+    | Sched.Scheduler.Abort ->
+      incr restarts;
+      tx_restarts.(tx) <- tx_restarts.(tx) + 1;
+      sched.Sched.Scheduler.on_abort tx;
+      next_step.(tx) <- 0;
+      (* restart with backoff: without it, two timestamp-ordered
+         transactions on a hot spot abort each other forever *)
+      let backoff =
+        params.exec_time *. float_of_int tx_restarts.(tx)
+      in
+      add_event (decided +. backoff) (`Resubmit tx);
+      unpark decided
+  in
+  let rec loop () =
+    (* next external event vs. next possible scheduler service *)
+    let next_ev = Events.min_elt_opt !events in
+    let can_serve = not (Queue.is_empty queue) in
+    match next_ev, can_serve with
+    | None, false ->
+      if Queue.is_empty parked then ()
+      else begin
+        (* stall: every open request is parked *)
+        let blocked =
+          Queue.fold (fun acc (tx, _) -> tx :: acc) [] parked |> List.rev
+        in
+        match sched.Sched.Scheduler.victim blocked with
+        | None -> failwith "Des.run: unresolvable stall"
+        | Some v ->
+          abort_victim !sched_free v;
+          loop ()
+      end
+    | Some ((te, _, ev) as entry), serveable ->
+      let service_time =
+        if serveable then
+          let _, submitted = Queue.peek queue in
+          Some (Float.max submitted !sched_free)
+        else None
+      in
+      (match service_time with
+      | Some ts when ts <= te ->
+        serve ()
+      | Some _ | None -> (
+        events := Events.remove entry !events;
+        match ev with
+        | `Arrival tx ->
+          stats.(tx).arrival <- te;
+          if fmt.(tx) = 0 then begin
+            stats.(tx).completion <- te;
+            makespan := Float.max !makespan te;
+            incr done_count
+          end
+          else submit tx te
+        | `Resubmit tx -> submit tx te
+        | `Step_done tx ->
+          if next_step.(tx) >= fmt.(tx) then begin
+            stats.(tx).completion <- te;
+            makespan := Float.max !makespan te;
+            incr done_count
+          end
+          else submit tx te));
+      loop ()
+    | None, true ->
+      serve ();
+      loop ()
+  in
+  loop ();
+  if !done_count <> n then failwith "Des.run: incomplete simulation";
+  let sum f = Array.fold_left (fun acc s -> acc +. f s) 0. stats in
+  let fn = float_of_int n in
+  let total_latency = sum (fun s -> s.completion -. s.arrival) in
+  let total_sched = sum (fun s -> s.scheduling) in
+  let total_wait = sum (fun s -> s.waiting) in
+  let total_exec = sum (fun s -> s.execution) in
+  {
+    n_transactions = n;
+    makespan = !makespan;
+    throughput = (if !makespan > 0. then fn /. !makespan else 0.);
+    avg_latency = total_latency /. fn;
+    (* the residual latency - sched - wait - exec is idle overlap between
+       a step's completion and the next decision; with instantaneous
+       resubmission it is zero per construction *)
+    avg_scheduling = total_sched /. fn;
+    avg_waiting = total_wait /. fn;
+    avg_execution = total_exec /. fn;
+    restarts = !restarts;
+    deadlocks = !deadlocks;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "n=%d makespan=%.2f thru=%.3f latency=%.2f = sched %.2f + wait %.2f + \
+     exec %.2f  (restarts %d, deadlocks %d)"
+    r.n_transactions r.makespan r.throughput r.avg_latency r.avg_scheduling
+    r.avg_waiting r.avg_execution r.restarts r.deadlocks

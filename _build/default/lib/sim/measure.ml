@@ -1,0 +1,72 @@
+open Core
+
+type row = {
+  name : string;
+  zero_delay_fraction : float;
+  avg_delays : float;
+  avg_waiting : float;
+  avg_restarts : float;
+  avg_deadlocks : float;
+  avg_grants : float;
+}
+
+let exact_fixpoint_count mk fmt = List.length (Sched.Driver.fixpoint_of mk fmt)
+
+let sample ~name mk ~fmt ~samples ~seed =
+  let st = Random.State.make [| seed |] in
+  let zero = ref 0 in
+  let delays = ref 0 and waiting = ref 0 in
+  let restarts = ref 0 and deadlocks = ref 0 and grants = ref 0 in
+  for _ = 1 to samples do
+    let arrivals = Combin.Interleave.random st fmt in
+    let s = Sched.Driver.run (mk ()) ~fmt ~arrivals in
+    if Sched.Driver.zero_delay s then incr zero;
+    delays := !delays + s.Sched.Driver.delays;
+    waiting := !waiting + s.Sched.Driver.waiting;
+    restarts := !restarts + s.Sched.Driver.restarts;
+    deadlocks := !deadlocks + s.Sched.Driver.deadlocks;
+    grants := !grants + s.Sched.Driver.grants
+  done;
+  let f x = float_of_int x /. float_of_int samples in
+  {
+    name;
+    zero_delay_fraction = f !zero;
+    avg_delays = f !delays;
+    avg_waiting = f !waiting;
+    avg_restarts = f !restarts;
+    avg_deadlocks = f !deadlocks;
+    avg_grants = f !grants;
+  }
+
+let compare_schedulers entries ~fmt ~samples ~seed =
+  List.map (fun (name, mk) -> sample ~name mk ~fmt ~samples ~seed) entries
+
+let standard_suite syntax =
+  let fmt = Syntax.format syntax in
+  let first_var =
+    match Syntax.vars syntax with v :: _ -> v | [] -> assert false
+  in
+  [
+    ("serial", fun () -> Sched.Serial_sched.create ~fmt);
+    ("2PL", fun () -> Sched.Tpl_sched.create_2pl ~syntax);
+    ( "2PL'",
+      fun () ->
+        Sched.Tpl_sched.create
+          ~policy:(Locking.Two_phase_prime.policy ~distinguished:first_var)
+          ~syntax );
+    ( "preclaim",
+      fun () ->
+        Sched.Tpl_sched.create ~policy:Locking.Preclaim.policy ~syntax );
+    ("SGT", fun () -> Sched.Sgt.create ~syntax);
+    ("TO", fun () -> Sched.Timestamp.create ~syntax);
+  ]
+
+let pp_rows ppf rows =
+  Format.fprintf ppf "%-8s %9s %8s %8s %9s %10s %8s@."
+    "sched" "zero-dly" "delays" "waiting" "restarts" "deadlocks" "grants";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-8s %9.3f %8.2f %8.2f %9.2f %10.2f %8.2f@."
+        r.name r.zero_delay_fraction r.avg_delays r.avg_waiting
+        r.avg_restarts r.avg_deadlocks r.avg_grants)
+    rows

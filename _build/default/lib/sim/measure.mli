@@ -1,0 +1,44 @@
+open Core
+
+(** Performance measurement: the Section 6 quantities.
+
+    The probability that no step has to wait is [|P| / |H|]; for small
+    formats this is computed exactly by enumeration, and estimated by
+    Monte-Carlo otherwise. Average delay/waiting/restart counts come
+    from driving each scheduler over random arrival histories. *)
+
+type row = {
+  name : string;
+  zero_delay_fraction : float;  (** fraction of histories passed intact *)
+  avg_delays : float;
+  avg_waiting : float;
+  avg_restarts : float;
+  avg_deadlocks : float;
+  avg_grants : float;
+}
+
+val exact_fixpoint_count : (unit -> Sched.Scheduler.t) -> int array -> int
+(** |P| by exhaustive enumeration of [H]. Small formats. *)
+
+val sample :
+  name:string ->
+  (unit -> Sched.Scheduler.t) ->
+  fmt:int array ->
+  samples:int ->
+  seed:int ->
+  row
+(** Monte-Carlo over uniformly random arrival histories. *)
+
+val compare_schedulers :
+  (string * (unit -> Sched.Scheduler.t)) list ->
+  fmt:int array ->
+  samples:int ->
+  seed:int ->
+  row list
+
+val standard_suite : Syntax.t -> (string * (unit -> Sched.Scheduler.t)) list
+(** serial, 2PL, 2PL′(first variable), preclaim, SGT and TO over a
+    syntax. *)
+
+val pp_rows : Format.formatter -> row list -> unit
+(** An aligned text table. *)

@@ -1,0 +1,49 @@
+open Core
+
+let var_pool n = List.init n (fun i -> Printf.sprintf "v%d" i)
+
+let uniform st ~n ~m ~n_vars =
+  let vars = Array.of_list (var_pool n_vars) in
+  Syntax.make
+    (Array.init n (fun _ ->
+         Array.init m (fun _ -> vars.(Random.State.int st n_vars))))
+
+let hotspot st ~n ~m ~n_vars ~theta =
+  if n_vars < 2 then invalid_arg "Workload.hotspot: needs >= 2 variables";
+  let vars = Array.of_list (var_pool n_vars) in
+  let pick () =
+    if Random.State.float st 1.0 < theta then vars.(0)
+    else vars.(1 + Random.State.int st (n_vars - 1))
+  in
+  Syntax.make (Array.init n (fun _ -> Array.init m (fun _ -> pick ())))
+
+let disjoint ~n ~m =
+  Syntax.make
+    (Array.init n (fun i -> Array.make m (Printf.sprintf "v%d" i)))
+
+let chain ~depth =
+  let vars = List.init depth (fun i -> Printf.sprintf "v%d" i) in
+  let pairs =
+    List.init (depth - 1) (fun i ->
+        (Printf.sprintf "v%d" (i + 1), Printf.sprintf "v%d" i))
+  in
+  (vars, pairs)
+
+let counters syntax =
+  let interp =
+    Array.map
+      (fun m -> Array.init m (fun j -> Expr.Ast.(Add (Local j, int 1))))
+      (Syntax.format syntax)
+  in
+  System.make syntax interp
+
+let transfers syntax =
+  let interp =
+    Array.map
+      (fun m ->
+        Array.init m (fun j ->
+            if j mod 2 = 0 then Expr.Ast.(Add (Local j, int 1))
+            else Expr.Ast.(Sub (Local j, int 1))))
+      (Syntax.format syntax)
+  in
+  System.make syntax interp

@@ -1,0 +1,38 @@
+open Core
+
+(** Workload generators for the benchmark harness.
+
+    Transaction-system syntaxes with controlled contention (which
+    variable each step touches), plus simple semantic fillings for when
+    concrete execution is needed. *)
+
+val var_pool : int -> Names.var list
+(** [v0 .. v(n-1)]. *)
+
+val uniform : Random.State.t -> n:int -> m:int -> n_vars:int -> Syntax.t
+(** [n] transactions of [m] steps, each step on a uniformly random
+    variable. *)
+
+val hotspot : Random.State.t -> n:int -> m:int -> n_vars:int -> theta:float -> Syntax.t
+(** Like {!uniform}, but each step touches variable [v0] with
+    probability [theta] and a uniform other variable otherwise —
+    [theta = 1.0] is the single-hot-spot workload, [theta = 0.0] spreads
+    uniformly over the remaining variables. *)
+
+val disjoint : n:int -> m:int -> Syntax.t
+(** Transaction [i] only touches its own variable — the zero-contention
+    extreme. *)
+
+val chain : depth:int -> Names.var list * (Names.var * Names.var) list
+(** A chain hierarchy [v0 → v1 → ... ] for tree-locking workloads:
+    returns the variables root-first and the (child, parent) pairs
+    suitable for {!Locking.Tree_lock.policy}. *)
+
+val counters : Syntax.t -> System.t
+(** Fill a syntax with increment semantics ([φ_ij = t_ij + 1]) and a
+    trivial IC — the standard semantic filling for delay measurements. *)
+
+val transfers : Syntax.t -> System.t
+(** Alternating [+1 / −1] semantics (odd steps add, even steps
+    subtract), trivial IC; useful when distinct interpretations per step
+    matter. *)

@@ -1,0 +1,1 @@
+test/test_adversary.ml: Adversary Alcotest Conflict Core Examples Exec Expr Herbrand List Names QCheck Schedule State Syntax System Util

@@ -1,0 +1,1 @@
+test/test_combin.ml: Alcotest Array Combin List QCheck Util

@@ -1,0 +1,1 @@
+test/test_digraph.ml: Alcotest Array Digraph List Printf QCheck String Util

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Ast Expr List QCheck String Util Value

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Combin Conflict Core Equivalence Examples Exec Expr Format Herbrand List Locking QCheck Sched Schedule Sim State Syntax System Util

@@ -1,0 +1,1 @@
+test/test_fixpoint.ml: Alcotest Array Core Examples Expr Fixpoint Info Lazy List QCheck State Syntax System Util

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Array Combin Conflict Core Examples List Locking Names QCheck Syntax Util

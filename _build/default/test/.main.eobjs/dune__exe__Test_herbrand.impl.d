@@ -1,0 +1,1 @@
+test/test_herbrand.ml: Alcotest Array Combin Conflict Core Digraph Examples Exec Herbrand List Names QCheck Schedule State Syntax System Util

@@ -1,0 +1,1 @@
+test/test_locking.ml: Alcotest Array Combin Core Examples Format List Locking Names QCheck Schedule Syntax Util

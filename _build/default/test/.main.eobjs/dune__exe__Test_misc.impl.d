@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Combin Conflict Core Digraph Examples Exec Expr Format Herbrand Info List Locking Names QCheck Random Sched Schedule State String Syntax System Util Weak_sr

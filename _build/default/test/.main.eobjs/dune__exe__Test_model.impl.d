@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Combin Core Examples Exec Expr List Names QCheck Schedule State Syntax System Util Weak_sr

@@ -1,0 +1,1 @@
+test/test_optimality.ml: Alcotest Core Exec Expr Fixpoint Format List Optimality QCheck Seq String Syntax Util

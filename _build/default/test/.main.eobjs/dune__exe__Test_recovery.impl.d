@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Array Combin Core Examples Format List Locking Names QCheck Recovery Rw_model Syntax Util

@@ -1,0 +1,1 @@
+test/test_rw.ml: Alcotest Array Combin Core Format List Names QCheck Random Rw_model Util

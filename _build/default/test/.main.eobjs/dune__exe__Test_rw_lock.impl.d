@@ -1,0 +1,1 @@
+test/test_rw_lock.ml: Alcotest Array Combin Core Format List Locking QCheck Rw_model Util

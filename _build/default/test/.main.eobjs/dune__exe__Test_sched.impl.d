@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Combin Conflict Core Examples Exec Expr Fixpoint Format List Locking Names QCheck Random Sched Schedule State String Syntax System Util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Conflict Core Examples Exec Expr Format List Locking QCheck Sched Schedule Sim State String Syntax Util

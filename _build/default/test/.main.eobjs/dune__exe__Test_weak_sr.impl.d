@@ -1,0 +1,1 @@
+test/test_weak_sr.ml: Alcotest Array Combin Conflict Core Examples Exec Expr Int List QCheck Schedule State Syntax System Util Weak_sr

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Array Core Format List QCheck QCheck_alcotest Random

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "ccopt"
+    [
+      ("combin", Test_combin.suite);
+      ("digraph", Test_digraph.suite);
+      ("expr", Test_expr.suite);
+      ("model", Test_model.suite);
+      ("herbrand", Test_herbrand.suite);
+      ("weak-sr", Test_weak_sr.suite);
+      ("adversary", Test_adversary.suite);
+      ("fixpoint", Test_fixpoint.suite);
+      ("locking", Test_locking.suite);
+      ("geometry", Test_geometry.suite);
+      ("sched", Test_sched.suite);
+      ("sim", Test_sim.suite);
+      ("optimality", Test_optimality.suite);
+      ("rw-model", Test_rw.suite);
+      ("extensions", Test_extensions.suite);
+      ("misc", Test_misc.suite);
+      ("rw-lock", Test_rw_lock.suite);
+      ("recovery", Test_recovery.suite);
+    ]

@@ -1,0 +1,134 @@
+(* Tests for the executable adversary constructions of Theorems 1-3. *)
+
+open Util
+open Core
+
+let test_interruption_serial () =
+  let h = Schedule.serial [| 2; 2 |] [| 0; 1 |] in
+  check_true "serial has no interruption" (Adversary.interruption h = None)
+
+let test_interruption_found () =
+  let h = Schedule.of_interleaving [| 0; 1; 0 |] in
+  match Adversary.interruption h with
+  | Some (si, sk, si') ->
+    check_true "T11 first" (Names.equal_step si (Names.step 0 0));
+    check_true "T21 between" (Names.equal_step sk (Names.step 1 0));
+    check_true "T12 after" (Names.equal_step si' (Names.step 0 1))
+  | None -> Alcotest.fail "expected an interruption"
+
+let test_theorem2_example () =
+  (* the exact construction from the proof: T_i = (x+1, x-1), T_k = (2x) *)
+  let h = Schedule.of_interleaving [| 0; 1; 0 |] in
+  match Adversary.theorem2_adversary [| 2; 1 |] h with
+  | None -> Alcotest.fail "non-serial schedule must have an adversary"
+  | Some sys ->
+    let zero = State.of_ints [ ("x", 0) ] in
+    let final = Exec.run sys zero h in
+    check_true "x = 1 after h"
+      (Expr.Value.equal (State.get final "x") (Expr.Value.Int 1));
+    check_false "inconsistent" (System.consistent sys final);
+    check_true "transactions individually correct"
+      (Exec.basic_assumption sys ~probes:[ zero ])
+
+let test_theorem2_none_for_serial () =
+  let h = Schedule.serial [| 2; 1 |] [| 1; 0 |] in
+  check_true "no adversary for serial"
+    (Adversary.theorem2_adversary [| 2; 1 |] h = None);
+  check_false "refutes is false" (Adversary.theorem2_refutes [| 2; 1 |] h)
+
+(* Theorem 2, executable: EVERY non-serial schedule is refuted by the
+   constructed minimum-information adversary. Exhaustive on small
+   formats. *)
+let test_theorem2_exhaustive () =
+  List.iter
+    (fun fmt ->
+      List.iter
+        (fun h ->
+          if not (Schedule.is_serial h) then
+            check_true "adversary refutes" (Adversary.theorem2_refutes fmt h))
+        (Schedule.all fmt))
+    [ [| 2; 2 |]; [| 3; 2 |]; [| 2; 2; 2 |]; [| 1; 3 |] ]
+
+let prop_theorem2_random =
+  QCheck.Test.make ~name:"theorem 2 adversary refutes random non-serial"
+    ~count:300
+    (arbitrary_syntax_and_schedule ~max_n:4 ~max_m:3 ~n_vars:2)
+    (fun (syntax, h) ->
+      let fmt = Syntax.format syntax in
+      Schedule.is_serial h || Adversary.theorem2_refutes fmt h)
+
+let test_herbrand_reachable_serial () =
+  let syntax = Examples.fig1.System.syntax in
+  let serial = Schedule.serial (Syntax.format syntax) [| 1; 0 |] in
+  check_true "serial state reachable"
+    (Adversary.herbrand_reachable syntax (Herbrand.run syntax serial))
+
+let test_herbrand_unreachable () =
+  let syntax = Examples.fig1.System.syntax in
+  check_true "fig1 history refuted"
+    (Adversary.theorem3_refutes syntax Examples.fig1_history)
+
+(* Theorem 3, executable: the Herbrand adversary's integrity constraint
+   (reachability by serial concatenations) rejects exactly the
+   non-serializable schedules. *)
+let prop_theorem3_exact =
+  QCheck.Test.make
+    ~name:"theorem 3: herbrand IC rejects exactly non-SR schedules"
+    ~count:200
+    (arbitrary_syntax_and_schedule ~max_n:3 ~max_m:3 ~n_vars:2)
+    (fun (syntax, h) ->
+      Adversary.theorem3_refutes syntax h
+      = not (Conflict.serializable syntax h))
+
+let test_theorem3_exhaustive () =
+  let syntax = Syntax.of_lists [ [ "x"; "y" ]; [ "y"; "x" ] ] in
+  List.iter
+    (fun h ->
+      check_true "refutes iff non-SR"
+        (Adversary.theorem3_refutes syntax h
+        = not (Conflict.serializable syntax h)))
+    (Schedule.all (Syntax.format syntax))
+
+let test_theorem1_bound () =
+  (* universe = { fig1 with two different ICs }; claimed fixpoint =
+     serial schedules; the bound must hold since serial schedules are
+     correct for any member (basic assumption). *)
+  let mk ic =
+    System.make ~ic Examples.fig1.System.syntax Examples.fig1.System.interp
+  in
+  let universe =
+    [
+      mk System.Trivial;
+      mk (System.Pred Expr.Ast.(ge (Global "x") (int (-1000))));
+    ]
+  in
+  let probes = List.map (fun x -> State.of_ints [ ("x", x) ]) [ 0; 1; 5 ] in
+  let serial = Schedule.all_serial [| 2; 1 |] in
+  check_true "serial passes over the whole universe"
+    (Adversary.theorem1_bound_holds ~universe ~probes serial)
+
+let test_theorem1_violation_detected () =
+  (* claiming the non-serializable fig1 history as a fixpoint must break
+     the bound for a universe containing the theorem-2 adversary *)
+  let h = Examples.fig1_history in
+  match Adversary.theorem2_adversary [| 2; 1 |] h with
+  | None -> Alcotest.fail "adversary expected"
+  | Some bad ->
+    let probes = [ State.of_ints [ ("x", 0) ] ] in
+    check_false "bound violated"
+      (Adversary.theorem1_bound_holds ~universe:[ bad ] ~probes [ h ])
+
+let suite =
+  [
+    Alcotest.test_case "interruption: serial" `Quick test_interruption_serial;
+    Alcotest.test_case "interruption: found" `Quick test_interruption_found;
+    Alcotest.test_case "theorem2 example" `Quick test_theorem2_example;
+    Alcotest.test_case "theorem2 serial none" `Quick test_theorem2_none_for_serial;
+    Alcotest.test_case "theorem2 exhaustive" `Quick test_theorem2_exhaustive;
+    Alcotest.test_case "theorem3 serial reachable" `Quick test_herbrand_reachable_serial;
+    Alcotest.test_case "theorem3 fig1 refuted" `Quick test_herbrand_unreachable;
+    Alcotest.test_case "theorem3 exhaustive" `Quick test_theorem3_exhaustive;
+    Alcotest.test_case "theorem1 bound holds" `Quick test_theorem1_bound;
+    Alcotest.test_case "theorem1 violation" `Quick test_theorem1_violation_detected;
+  ]
+  @ qsuite [ prop_theorem2_random; prop_theorem3_exact ]

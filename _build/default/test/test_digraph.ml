@@ -1,0 +1,159 @@
+(* Tests for the directed-graph substrate. *)
+
+open Util
+
+let mk edges n =
+  let g = Digraph.create n in
+  List.iter (fun (u, v) -> Digraph.add_edge g u v) edges;
+  g
+
+let test_basic () =
+  let g = mk [ (0, 1); (1, 2) ] 3 in
+  check_true "has 0->1" (Digraph.has_edge g 0 1);
+  check_false "no 1->0" (Digraph.has_edge g 1 0);
+  check_int "n edges" 2 (Digraph.n_edges g);
+  Alcotest.(check (list int)) "succ 0" [ 1 ] (Digraph.succ g 0);
+  Alcotest.(check (list int)) "pred 2" [ 1 ] (Digraph.pred g 2);
+  Digraph.add_edge g 0 1;
+  check_int "idempotent add" 2 (Digraph.n_edges g);
+  Digraph.remove_edge g 0 1;
+  check_false "removed" (Digraph.has_edge g 0 1)
+
+let test_cycles () =
+  check_false "dag" (Digraph.has_cycle (mk [ (0, 1); (1, 2); (0, 2) ] 3));
+  check_true "triangle" (Digraph.has_cycle (mk [ (0, 1); (1, 2); (2, 0) ] 3));
+  check_true "self loop" (Digraph.has_cycle (mk [ (1, 1) ] 2));
+  check_false "empty" (Digraph.has_cycle (Digraph.create 5));
+  check_true "two-cycle deep"
+    (Digraph.has_cycle (mk [ (0, 1); (1, 2); (2, 3); (3, 1) ] 4))
+
+let test_topo () =
+  (match Digraph.topological_sort (mk [ (2, 1); (1, 0) ] 3) with
+  | Some order -> Alcotest.(check (array int)) "order" [| 2; 1; 0 |] order
+  | None -> Alcotest.fail "expected a topological order");
+  check_true "cyclic has none"
+    (Digraph.topological_sort (mk [ (0, 1); (1, 0) ] 2) = None)
+
+let test_find_cycle () =
+  (match Digraph.find_cycle (mk [ (0, 1); (1, 2); (2, 0) ] 3) with
+  | Some cyc -> check_int "cycle length" 3 (List.length cyc)
+  | None -> Alcotest.fail "expected a cycle");
+  check_true "acyclic none" (Digraph.find_cycle (mk [ (0, 1) ] 2) = None)
+
+let test_scc () =
+  let g = mk [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2) ] 4 in
+  let comp = Digraph.scc g in
+  check_true "0,1 same" (comp.(0) = comp.(1));
+  check_true "2,3 same" (comp.(2) = comp.(3));
+  check_true "0,2 differ" (comp.(0) <> comp.(2))
+
+let test_reachable () =
+  let g = mk [ (0, 1); (1, 2); (3, 0) ] 4 in
+  let r = Digraph.reachable g 0 in
+  Alcotest.(check (array bool)) "from 0" [| true; true; true; false |] r
+
+let test_components () =
+  let g = mk [ (0, 1); (2, 3) ] 5 in
+  let c = Digraph.undirected_components g in
+  check_true "0-1 joined" (c.(0) = c.(1));
+  check_true "2-3 joined" (c.(2) = c.(3));
+  check_true "4 alone" (c.(4) <> c.(0) && c.(4) <> c.(2))
+
+(* Brute-force cycle check for cross-validation: try all vertices as
+   start, walk all simple paths. Exponential but fine on tiny graphs. *)
+let brute_has_cycle g =
+  let n = Digraph.n_vertices g in
+  let rec walk visited u =
+    List.exists
+      (fun v -> List.mem v visited || walk (v :: visited) v)
+      (Digraph.succ g u)
+  in
+  let rec any u = u < n && (walk [ u ] u || any (u + 1)) in
+  any 0
+
+let random_graph_gen =
+  QCheck.Gen.(
+    int_range 1 6 >>= fun n ->
+    list_size (int_range 0 10) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    >>= fun edges -> return (n, edges))
+
+let prop_cycle_matches_brute =
+  QCheck.Test.make ~name:"has_cycle matches brute force" ~count:300
+    (QCheck.make
+       ~print:(fun (n, es) ->
+         Printf.sprintf "n=%d edges=%s" n
+           (String.concat ";"
+              (List.map (fun (u, v) -> Printf.sprintf "%d->%d" u v) es)))
+       random_graph_gen)
+    (fun (n, edges) ->
+      let g = mk edges n in
+      Digraph.has_cycle g = brute_has_cycle g)
+
+let prop_topo_respects_edges =
+  QCheck.Test.make ~name:"topological sort respects all edges" ~count:300
+    (QCheck.make random_graph_gen)
+    (fun (n, edges) ->
+      let g = mk edges n in
+      match Digraph.topological_sort g with
+      | None -> Digraph.has_cycle g
+      | Some order ->
+        let pos = Array.make n 0 in
+        Array.iteri (fun i u -> pos.(u) <- i) order;
+        (not (Digraph.has_cycle g))
+        && List.for_all (fun (u, v) -> pos.(u) < pos.(v)) (Digraph.edges g))
+
+let prop_find_cycle_is_cycle =
+  QCheck.Test.make ~name:"find_cycle returns a real cycle" ~count:300
+    (QCheck.make random_graph_gen)
+    (fun (n, edges) ->
+      let g = mk edges n in
+      match Digraph.find_cycle g with
+      | None -> not (Digraph.has_cycle g)
+      | Some [] -> false
+      | Some (first :: _ as cyc) ->
+        let rec ok = function
+          | [ last ] -> Digraph.has_edge g last first
+          | u :: (v :: _ as rest) -> Digraph.has_edge g u v && ok rest
+          | [] -> false
+        in
+        ok cyc)
+
+let prop_closure_sound =
+  QCheck.Test.make ~name:"transitive closure = reachability" ~count:200
+    (QCheck.make random_graph_gen)
+    (fun (n, edges) ->
+      let g = mk edges n in
+      let c = Digraph.transitive_closure g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        let r = Digraph.reachable g u in
+        for v = 0 to n - 1 do
+          let direct = Digraph.has_edge c u v in
+          let expected =
+            (* reachable by non-empty path *)
+            List.exists (fun w -> Digraph.reachable g w |> fun rw -> rw.(v))
+              (Digraph.succ g u)
+          in
+          ignore r;
+          if direct <> expected then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "basic ops" `Quick test_basic;
+    Alcotest.test_case "cycles" `Quick test_cycles;
+    Alcotest.test_case "topological sort" `Quick test_topo;
+    Alcotest.test_case "find cycle" `Quick test_find_cycle;
+    Alcotest.test_case "scc" `Quick test_scc;
+    Alcotest.test_case "reachable" `Quick test_reachable;
+    Alcotest.test_case "components" `Quick test_components;
+  ]
+  @ qsuite
+      [
+        prop_cycle_matches_brute;
+        prop_topo_respects_edges;
+        prop_find_cycle_is_cycle;
+        prop_closure_sound;
+      ]

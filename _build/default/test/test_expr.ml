@@ -1,0 +1,112 @@
+(* Tests for the expression substrate. *)
+
+open Util
+open Expr
+
+let ev_closed = Ast.eval_closed
+
+let test_arith () =
+  check_true "1+2=3" (Value.equal (ev_closed Ast.(Add (int 1, int 2))) (Value.Int 3));
+  check_true "5-7=-2" (Value.equal (ev_closed Ast.(Sub (int 5, int 7))) (Value.Int (-2)));
+  check_true "3*4=12" (Value.equal (ev_closed Ast.(Mul (int 3, int 4))) (Value.Int 12));
+  check_true "7/2=3" (Value.equal (ev_closed Ast.(Div (int 7, int 2))) (Value.Int 3));
+  check_true "x/0=0" (Value.equal (ev_closed Ast.(Div (int 7, int 0))) (Value.Int 0));
+  check_true "neg" (Value.equal (ev_closed Ast.(Neg (int 5))) (Value.Int (-5)))
+
+let test_bool () =
+  check_true "le" (Value.bool (ev_closed Ast.(Le (int 1, int 1))));
+  check_false "lt strict" (Value.bool (ev_closed Ast.(Lt (int 1, int 1))));
+  check_true "ge" (Value.bool (ev_closed Ast.(ge (int 2) (int 1))));
+  check_true "and/or/not"
+    (Value.bool
+       (ev_closed Ast.(Or (And (bool true, Not (bool true)), bool true))));
+  check_true "eq on strings"
+    (Value.bool (ev_closed Ast.(Eq (Const (Value.Str "a"), Const (Value.Str "a")))))
+
+let test_if () =
+  check_true "then branch"
+    (Value.equal (ev_closed Ast.(If (bool true, int 1, int 2))) (Value.Int 1));
+  check_true "else branch"
+    (Value.equal (ev_closed Ast.(If (bool false, int 1, int 2))) (Value.Int 2))
+
+let test_env () =
+  let locals = function 0 -> Value.Int 10 | _ -> Value.Int 0 in
+  let globals = function "A" -> Value.Int 7 | _ -> raise Not_found in
+  let v = Ast.eval ~locals ~globals Ast.(Add (Local 0, Global "A")) in
+  check_true "local+global" (Value.equal v (Value.Int 17))
+
+let test_type_errors () =
+  let boom e = try ignore (ev_closed e); false with Ast.Type_error _ -> true in
+  check_true "int as bool" (boom Ast.(Not (int 1)));
+  check_true "bool as int" (boom Ast.(Add (bool true, int 1)));
+  check_true "closed with var" (boom Ast.(Local 0))
+
+let test_vars_analysis () =
+  let e = Ast.(If (Lt (Local 2, int 3), Add (Local 0, Global "B"), Local 2)) in
+  Alcotest.(check (list int)) "locals" [ 0; 2 ] (Ast.locals_used e);
+  Alcotest.(check (list string)) "globals" [ "B" ] (Ast.globals_used e);
+  check_int "max local" 2 (Ast.max_local e);
+  check_int "max local none" (-1) (Ast.max_local (Ast.int 5))
+
+let test_step_classification () =
+  check_true "identity is read" (Ast.is_identity_of 2 (Ast.Local 2));
+  check_false "shifted identity" (Ast.is_identity_of 1 (Ast.Local 2));
+  check_true "depends" (Ast.depends_on_local 1 Ast.(Add (Local 1, int 1)));
+  check_false "blind" (Ast.depends_on_local 1 Ast.(Add (Local 0, int 1)))
+
+let test_domains () =
+  check_true "range mem" (Value.mem (Value.Int_range (0, 3)) (Value.Int 2));
+  check_false "range out" (Value.mem (Value.Int_range (0, 3)) (Value.Int 9));
+  check_true "bool mem" (Value.mem Value.Bools (Value.Bool true));
+  check_false "cross type" (Value.mem Value.Ints (Value.Str "s"));
+  (match Value.enumerate (Value.Int_range (1, 4)) with
+  | Some l -> check_int "range size" 4 (List.length l)
+  | None -> Alcotest.fail "expected finite enumeration");
+  check_true "ints infinite" (Value.enumerate Value.Ints = None)
+
+(* Random closed integer expressions to exercise the evaluator. *)
+let int_expr_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then map Ast.int (int_range (-9) 9)
+        else
+          frequency
+            [
+              (1, map Ast.int (int_range (-9) 9));
+              (2, map2 (fun a b -> Ast.Add (a, b)) (self (n / 2)) (self (n / 2)));
+              (2, map2 (fun a b -> Ast.Sub (a, b)) (self (n / 2)) (self (n / 2)));
+              (1, map2 (fun a b -> Ast.Mul (a, b)) (self (n / 2)) (self (n / 2)));
+              (1, map (fun a -> Ast.Neg a) (self (n - 1)));
+            ]))
+
+let prop_eval_total =
+  QCheck.Test.make ~name:"closed int expressions evaluate totally" ~count:300
+    (QCheck.make ~print:Ast.to_string int_expr_gen)
+    (fun e -> match ev_closed e with Value.Int _ -> true | _ -> false)
+
+let prop_pp_no_exception =
+  QCheck.Test.make ~name:"pretty printing is total" ~count:200
+    (QCheck.make int_expr_gen)
+    (fun e -> String.length (Ast.to_string e) > 0)
+
+let prop_sample_in_domain =
+  QCheck.Test.make ~name:"sampled values lie in their domain" ~count:300
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let st = rng seed in
+      List.for_all
+        (fun d -> Value.mem d (Value.sample st d))
+        [ Value.Ints; Value.Int_range (-3, 3); Value.Bools; Value.Strings ])
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "booleans" `Quick test_bool;
+    Alcotest.test_case "conditionals" `Quick test_if;
+    Alcotest.test_case "environments" `Quick test_env;
+    Alcotest.test_case "type errors" `Quick test_type_errors;
+    Alcotest.test_case "variable analysis" `Quick test_vars_analysis;
+    Alcotest.test_case "step classification" `Quick test_step_classification;
+    Alcotest.test_case "domains" `Quick test_domains;
+  ]
+  @ qsuite [ prop_eval_total; prop_pp_no_exception; prop_sample_in_domain ]

@@ -1,0 +1,235 @@
+(* Tests for the extension components: swap-equivalence classes,
+   preclaiming (conservative) locking and optimistic concurrency
+   control. *)
+
+open Util
+open Core
+
+(* --- Equivalence: elementary transformations on schedules --- *)
+
+let fig1_syntax = Examples.fig1.System.syntax
+
+let test_swappable () =
+  let h = Schedule.of_interleaving [| 0; 1; 0 |] in
+  (* steps on the same variable x never commute *)
+  check_false "same var" (Equivalence.swappable fig1_syntax h 0);
+  let s2 = Syntax.of_lists [ [ "x" ]; [ "y" ] ] in
+  let h2 = Schedule.of_interleaving [| 0; 1 |] in
+  check_true "different vars" (Equivalence.swappable s2 h2 0);
+  let h3 = Schedule.of_interleaving [| 0; 0 |] in
+  let s3 = Syntax.of_lists [ [ "x"; "y" ] ] in
+  check_false "same transaction" (Equivalence.swappable s3 h3 0)
+
+let test_swap_preserves_herbrand () =
+  let s = Syntax.of_lists [ [ "x"; "y" ]; [ "y"; "x" ] ] in
+  List.iter
+    (fun h ->
+      List.iter
+        (fun h' ->
+          check_true "swap preserves Herbrand state"
+            (Herbrand.equivalent s h h'))
+        (Equivalence.neighbours s h))
+    (Schedule.all (Syntax.format s))
+
+let test_classes_partition () =
+  let s = Syntax.of_lists [ [ "x"; "y" ]; [ "y"; "x" ] ] in
+  let classes = Equivalence.classes s in
+  let total = List.fold_left (fun acc c -> acc + List.length c) 0 classes in
+  check_int "classes partition H" (Schedule.count (Syntax.format s)) total
+
+let test_serializable_classes () =
+  (* serializable schedules = union of classes containing a serial one *)
+  let s = Syntax.of_lists [ [ "x"; "y" ]; [ "y"; "x" ] ] in
+  List.iter
+    (fun cls ->
+      let has_serial = List.exists Schedule.is_serial cls in
+      List.iter
+        (fun h ->
+          check_true "class membership decides SR"
+            (Conflict.serializable s h = has_serial))
+        cls)
+    (Equivalence.classes s)
+
+(* The big cross-validation: swap-connectivity to a serial schedule
+   coincides with the conflict test (and hence Herbrand SR). *)
+let prop_connectivity_is_sr =
+  QCheck.Test.make ~name:"swap-connected to serial = serializable" ~count:60
+    (arbitrary_syntax_and_schedule ~max_n:3 ~max_m:2 ~n_vars:2)
+    (fun (syntax, h) ->
+      let fmt = Syntax.format syntax in
+      let reaches_serial =
+        List.exists
+          (fun serial -> Equivalence.connected syntax h serial)
+          (Schedule.all_serial fmt)
+      in
+      reaches_serial = Conflict.serializable syntax h)
+
+let prop_class_count_herbrand =
+  QCheck.Test.make ~name:"classes refine Herbrand equivalence" ~count:25
+    (QCheck.make (syntax_gen ~max_n:2 ~max_m:3 ~n_vars:2))
+    (fun syntax ->
+      List.for_all
+        (fun cls ->
+          match cls with
+          | [] -> true
+          | first :: rest ->
+            List.for_all (fun h -> Herbrand.equivalent syntax first h) rest)
+        (Equivalence.classes syntax))
+
+(* --- Preclaim locking --- *)
+
+let test_preclaim_shape () =
+  let s = Syntax.of_lists [ [ "y"; "x"; "y" ] ] in
+  let l = Locking.Preclaim.apply s in
+  let strings =
+    Array.to_list
+      (Array.map
+         (fun st -> Format.asprintf "%a" Locking.Locked.pp_step st)
+         l.Locking.Locked.txs.(0))
+  in
+  (* locks sorted x before y, releases after last access *)
+  Alcotest.(check (list string)) "shape"
+    [ "lock x"; "lock y"; "T11"; "T12"; "unlock x"; "T13"; "unlock y" ]
+    strings;
+  check_true "two-phase" (Locking.Locked.is_two_phase l);
+  check_true "well-formed" (Locking.Locked.is_well_formed l)
+
+let test_preclaim_correct_and_incomparable () =
+  List.iter
+    (fun s ->
+      check_true "preclaim correct"
+        (Locking.Policy.correct_exhaustive Locking.Preclaim.policy s))
+    [
+      Examples.fig3_pair;
+      Syntax.of_lists [ [ "x"; "y" ]; [ "y"; "x" ] ];
+      Syntax.of_lists [ [ "x"; "y"; "z" ]; [ "x" ] ];
+    ];
+  (* preclaim and 2PL are incomparable: 2PL passes an early touch of a
+     late-released variable that preclaim blocks (y here), while
+     preclaim releases x of (x,y,z) right after its only access, which
+     2PL's phase shift forbids *)
+  let s1 = Syntax.of_lists [ [ "x"; "y" ]; [ "y" ] ] in
+  check_true "2PL beats preclaim somewhere"
+    (List.length (Locking.Locked.outputs (Locking.Two_phase.apply s1))
+    >= List.length (Locking.Locked.outputs (Locking.Preclaim.apply s1)));
+  let s2 = Syntax.of_lists [ [ "x"; "y"; "z" ]; [ "x" ] ] in
+  let out_pre = Locking.Locked.outputs (Locking.Preclaim.apply s2) in
+  let out_2pl = Locking.Locked.outputs (Locking.Two_phase.apply s2) in
+  let early = Schedule.of_interleaving [| 0; 1; 0; 0 |] in
+  check_true "preclaim passes the early-release schedule"
+    (List.exists (Schedule.equal early) out_pre);
+  check_false "2PL does not"
+    (List.exists (Schedule.equal early) out_2pl)
+
+let test_preclaim_no_deadlock () =
+  (* ordered acquisition: the progress space has no deadlock region for
+     opposed access orders that deadlock under 2PL *)
+  let s = Syntax.of_lists [ [ "x"; "y" ]; [ "y"; "x" ] ] in
+  let geo_2pl = Locking.Geometry.analyse (Locking.Two_phase.apply s) in
+  let geo_pre = Locking.Geometry.analyse (Locking.Preclaim.apply s) in
+  check_true "2PL deadlocks" (Locking.Geometry.has_deadlock geo_2pl);
+  check_false "preclaim does not" (Locking.Geometry.has_deadlock geo_pre)
+
+let prop_preclaim_never_deadlocks =
+  QCheck.Test.make ~name:"preclaim geometry never has a deadlock region"
+    ~count:60
+    (QCheck.make (syntax_gen ~max_n:2 ~max_m:4 ~n_vars:3))
+    (fun syntax ->
+      Syntax.n_transactions syntax <> 2
+      ||
+      let geo = Locking.Geometry.analyse (Locking.Preclaim.apply syntax) in
+      not (Locking.Geometry.has_deadlock geo))
+
+(* --- Optimistic concurrency control --- *)
+
+let occ_system syntax = Sim.Workload.counters syntax
+
+let initial_for syntax =
+  State.of_list
+    (List.map (fun v -> (v, Expr.Value.Int 0)) (Syntax.vars syntax))
+
+let test_occ_serial_equivalence () =
+  (* whatever the arrival order, the committed state equals the serial
+     composition in commit order *)
+  let syntax = Examples.hot_spot 2 2 in
+  let sys = occ_system syntax in
+  let initial = initial_for syntax in
+  List.iter
+    (fun h ->
+      let sched, final, order =
+        Sched.Optimistic.create ~system:sys ~initial ()
+      in
+      let stats =
+        Sched.Driver.run sched ~fmt:(Syntax.format syntax)
+          ~arrivals:(Schedule.to_interleaving h)
+      in
+      ignore stats;
+      let expected = Exec.run_concatenation sys initial (order ()) in
+      check_true "committed = serial in commit order"
+        (State.equal (final ()) expected))
+    (Schedule.all (Syntax.format syntax))
+
+let test_occ_no_conflict_no_restart () =
+  let syntax = Examples.indep in
+  let sys = occ_system syntax in
+  let sched, _, _ =
+    Sched.Optimistic.create ~system:sys ~initial:(initial_for syntax) ()
+  in
+  let st = rng 3 in
+  let arrivals = Combin.Interleave.random st (Syntax.format syntax) in
+  let stats = Sched.Driver.run sched ~fmt:(Syntax.format syntax) ~arrivals in
+  check_int "no restarts on disjoint vars" 0 stats.Sched.Driver.restarts;
+  check_true "zero delay" (Sched.Driver.zero_delay stats)
+
+let test_occ_conflict_restarts () =
+  (* two interleaved RMW transactions on one variable: the later
+     validator must restart *)
+  let syntax = Examples.hot_spot 2 2 in
+  let sys = occ_system syntax in
+  let sched, final, _ =
+    Sched.Optimistic.create ~system:sys ~initial:(initial_for syntax) ()
+  in
+  let stats =
+    Sched.Driver.run sched ~fmt:[| 2; 2 |] ~arrivals:[| 0; 1; 0; 1 |]
+  in
+  check_true "a restart happened" (stats.Sched.Driver.restarts > 0);
+  (* both transactions add 2 in total *)
+  check_true "final x = 4"
+    (Expr.Value.equal (State.get (final ()) "x") (Expr.Value.Int 4))
+
+let prop_occ_always_serial_effect =
+  QCheck.Test.make ~name:"OCC committed state is serially reachable"
+    ~count:60
+    (arbitrary_syntax_and_schedule ~max_n:3 ~max_m:2 ~n_vars:2)
+    (fun (syntax, h) ->
+      let sys = occ_system syntax in
+      let initial = initial_for syntax in
+      let sched, final, order =
+        Sched.Optimistic.create ~system:sys ~initial ()
+      in
+      let _ =
+        Sched.Driver.run sched ~fmt:(Syntax.format syntax)
+          ~arrivals:(Schedule.to_interleaving h)
+      in
+      State.equal (final ()) (Exec.run_concatenation sys initial (order ())))
+
+let suite =
+  [
+    Alcotest.test_case "swappable" `Quick test_swappable;
+    Alcotest.test_case "swaps preserve Herbrand" `Quick test_swap_preserves_herbrand;
+    Alcotest.test_case "classes partition" `Quick test_classes_partition;
+    Alcotest.test_case "serializable classes" `Quick test_serializable_classes;
+    Alcotest.test_case "preclaim shape" `Quick test_preclaim_shape;
+    Alcotest.test_case "preclaim correct/incomparable" `Quick test_preclaim_correct_and_incomparable;
+    Alcotest.test_case "preclaim no deadlock" `Quick test_preclaim_no_deadlock;
+    Alcotest.test_case "OCC serial equivalence" `Quick test_occ_serial_equivalence;
+    Alcotest.test_case "OCC disjoint no restart" `Quick test_occ_no_conflict_no_restart;
+    Alcotest.test_case "OCC conflict restarts" `Quick test_occ_conflict_restarts;
+  ]
+  @ qsuite
+      [
+        prop_connectivity_is_sr;
+        prop_class_count_herbrand;
+        prop_preclaim_never_deadlocks;
+        prop_occ_always_serial_effect;
+      ]

@@ -1,0 +1,124 @@
+(* Tests for fixpoint sets and information levels (Section 3). *)
+
+open Util
+open Core
+
+let fig1 = Examples.fig1
+let probes = List.map (fun x -> State.of_ints [ ("x", x) ]) [ -2; 0; 1; 3 ]
+
+let sets = lazy (Fixpoint.compute fig1 ~probes)
+
+let test_counts () =
+  let h, serial, sr, wsr, c = Fixpoint.counts (Lazy.force sets) in
+  check_int "|H| = 3" 3 h;
+  (* format (2,1): interleavings 0;0;1 / 0;1;0 / 1;0;0 *)
+  check_int "|Serial| = 2" 2 serial;
+  check_int "|SR| = 2" 2 sr;
+  (* the interleaved history is weakly serializable: |WSR| = 3 *)
+  check_int "|WSR| = 3" 3 wsr;
+  check_int "|C| = 3 (trivial IC)" 3 c
+
+let test_chain () =
+  check_true "Serial <= SR <= WSR <= C <= H"
+    (Fixpoint.chain_holds (Lazy.force sets))
+
+let test_zero_delay_ratio () =
+  let s = Lazy.force sets in
+  let r = Fixpoint.zero_delay_ratio s.Fixpoint.serial [| 2; 1 |] in
+  check_true "2/3" (abs_float (r -. (2. /. 3.)) < 1e-9)
+
+let test_hierarchy_banking () =
+  (* the banking system is too large to enumerate H; check SR on the
+     smaller two_counters system instead, with a real IC *)
+  let open Expr.Ast in
+  let sys =
+    System.make
+      ~ic:(System.Pred (ge (Global "x") (int (-100))))
+      Examples.two_counters.System.syntax Examples.two_counters.System.interp
+  in
+  let probes =
+    List.map
+      (fun (x, y) -> State.of_ints [ ("x", x); ("y", y) ])
+      [ (0, 0); (1, 1); (2, -1) ]
+  in
+  let s = Fixpoint.compute sys ~probes in
+  check_true "chain holds" (Fixpoint.chain_holds s);
+  let h, serial, sr, wsr, c = Fixpoint.counts s in
+  check_int "|H| = (2+2)!/2!2! = 6" 6 h;
+  check_int "serial = 2" 2 serial;
+  check_true "sr >= serial" (sr >= serial);
+  check_true "wsr >= sr" (wsr >= sr);
+  check_true "c >= wsr" (c >= wsr)
+
+let test_info_levels_order () =
+  check_true "format <= syntactic" (Info.leq Info.Format_only Info.Syntactic);
+  check_true "syntactic <= semantic" (Info.leq Info.Syntactic Info.Semantic_no_ic);
+  check_true "semantic <= complete" (Info.leq Info.Semantic_no_ic Info.Complete);
+  check_false "complete </= format" (Info.leq Info.Complete Info.Format_only)
+
+let test_same_class () =
+  let a = Examples.fig1 in
+  let b =
+    (* same syntax, different semantics *)
+    System.make a.System.syntax
+      [|
+        [| Expr.Ast.Local 0; Expr.Ast.Local 1 |];
+        [| Expr.Ast.Local 0 |];
+      |]
+  in
+  check_true "same format class" (Info.same_class Info.Format_only a b);
+  check_true "same syntactic class" (Info.same_class Info.Syntactic a b);
+  check_false "different semantic class" (Info.same_class Info.Semantic_no_ic a b);
+  check_true "complete self" (Info.same_class Info.Complete a a)
+
+let test_monotone () =
+  (* the information-performance isomorphism on fig1 *)
+  check_true "optimal fixpoints are monotone in information"
+    (Info.monotone fig1 ~probes)
+
+let test_optimal_fixpoints_match_theorems () =
+  let fp = Info.optimal_fixpoint fig1 ~probes in
+  let s = Lazy.force sets in
+  check_true "format-only = serial"
+    (Fixpoint.subset (fp Info.Format_only) s.Fixpoint.serial
+    && Fixpoint.subset s.Fixpoint.serial (fp Info.Format_only));
+  check_true "syntactic = SR"
+    (Fixpoint.subset (fp Info.Syntactic) s.Fixpoint.sr
+    && Fixpoint.subset s.Fixpoint.sr (fp Info.Syntactic));
+  check_true "semantic = WSR"
+    (Fixpoint.subset (fp Info.Semantic_no_ic) s.Fixpoint.wsr
+    && Fixpoint.subset s.Fixpoint.wsr (fp Info.Semantic_no_ic))
+
+(* Property: the chain holds for random small systems with increment
+   semantics and trivial IC. *)
+let prop_chain_random =
+  QCheck.Test.make ~name:"fixpoint chain holds on random systems" ~count:25
+    (QCheck.make (syntax_gen ~max_n:2 ~max_m:2 ~n_vars:2))
+    (fun syntax ->
+      let fmt = Syntax.format syntax in
+      let interp =
+        Array.map
+          (fun m ->
+            Array.init m (fun j -> Expr.Ast.(Add (Local j, int 1))))
+          fmt
+      in
+      let sys = System.make syntax interp in
+      let probes =
+        List.map
+          (fun (x, y) -> State.of_ints [ ("x", x); ("y", y) ])
+          [ (0, 0); (2, 5) ]
+      in
+      Fixpoint.chain_holds (Fixpoint.compute sys ~probes))
+
+let suite =
+  [
+    Alcotest.test_case "fig1 counts" `Quick test_counts;
+    Alcotest.test_case "fig1 chain" `Quick test_chain;
+    Alcotest.test_case "zero delay ratio" `Quick test_zero_delay_ratio;
+    Alcotest.test_case "two_counters hierarchy" `Quick test_hierarchy_banking;
+    Alcotest.test_case "info level order" `Quick test_info_levels_order;
+    Alcotest.test_case "information classes" `Quick test_same_class;
+    Alcotest.test_case "monotone isomorphism" `Quick test_monotone;
+    Alcotest.test_case "optimal fixpoints = theorems" `Quick test_optimal_fixpoints_match_theorems;
+  ]
+  @ qsuite [ prop_chain_random ]

@@ -1,0 +1,299 @@
+(* Tests for the progress-space geometry of Section 5.3 (Figures 3/4). *)
+
+open Util
+open Core
+
+(* Two transactions both locking x then y under 2PL, as in Figure 3. *)
+let fig3_locked = Locking.Two_phase.apply Examples.fig3_pair
+let geo = Locking.Geometry.analyse fig3_locked
+
+let test_extent () =
+  (* each locked transaction: lock x, T1, lock y, unlock x, T2, unlock y *)
+  let l1, l2 = Locking.Geometry.extent geo in
+  check_int "L1" 6 l1;
+  check_int "L2" 6 l2
+
+let test_blocks () =
+  let blocks = Locking.Geometry.blocks geo in
+  check_int "two blocks (x and y)" 2 (List.length blocks);
+  List.iter
+    (fun r ->
+      check_true "hold intervals sane"
+        (r.Locking.Geometry.x_lo <= r.Locking.Geometry.x_hi
+        && r.Locking.Geometry.y_lo <= r.Locking.Geometry.y_hi))
+    blocks
+
+let test_forbidden_matches_legality () =
+  (* geometric legality of a path = lock-machine legality of the
+     interleaving, over the full interleaving space *)
+  List.iter
+    (fun il ->
+      let path = Locking.Geometry.path_of_interleaving il in
+      check_true "legal <-> path avoids blocks"
+        (Locking.Locked.legal fig3_locked il
+        = Locking.Geometry.path_legal geo path))
+    (Combin.Interleave.all (Locking.Locked.format fig3_locked))
+
+let test_deadlock_region () =
+  (* Both transactions lock x then y in the same order: under 2PL with
+     identical lock orders there is no deadlock. *)
+  check_false "same lock order: no deadlock" (Locking.Geometry.has_deadlock geo)
+
+let opposed_locked =
+  (* T1 locks x then y, T2 locks y then x: the classical deadlock. *)
+  Locking.Two_phase.apply (Syntax.of_lists [ [ "x"; "y" ]; [ "y"; "x" ] ])
+
+let opposed_geo = Locking.Geometry.analyse opposed_locked
+
+let test_deadlock_exists () =
+  check_true "opposed lock orders deadlock" (Locking.Geometry.has_deadlock opposed_geo);
+  (* every deadlock point is reachable, not forbidden, not safe *)
+  List.iter
+    (fun p ->
+      check_true "reachable" (Locking.Geometry.reachable opposed_geo p);
+      check_false "not forbidden" (Locking.Geometry.forbidden opposed_geo p);
+      check_false "not safe" (Locking.Geometry.safe opposed_geo p))
+    (Locking.Geometry.deadlock_region opposed_geo)
+
+let test_deadlock_cross_validation () =
+  (* a complete legal interleaving exists iff O is safe; with a deadlock
+     region, greedy extensions through it must get stuck *)
+  check_true "origin safe" (Locking.Geometry.safe opposed_geo (0, 0));
+  (* walk into the deadlock region and verify no completion exists *)
+  match Locking.Geometry.deadlock_region opposed_geo with
+  | [] -> Alcotest.fail "expected deadlock points"
+  | (p1, p2) :: _ ->
+    (* prefix reaching (p1,p2): p1 steps of T1 then p2 of T2 or the other
+       way; at least one of the two monotone staircases must be legal,
+       since the point is reachable; check that no extension completes *)
+    let fmt = Locking.Locked.format opposed_locked in
+    let rest = fmt.(0) - p1 + (fmt.(1) - p2) in
+    let complete prefix =
+      (* try all extensions of the prefix *)
+      let exts = Combin.Interleave.all [| fmt.(0) - p1; fmt.(1) - p2 |] in
+      List.exists
+        (fun ext ->
+          let il = Array.append prefix ext in
+          Locking.Locked.legal opposed_locked il)
+        exts
+    in
+    let pre1 = Array.append (Array.make p1 0) (Array.make p2 1) in
+    let pre2 = Array.append (Array.make p2 1) (Array.make p1 0) in
+    check_true "some prefix reaches the point"
+      (Locking.Locked.legal_prefix opposed_locked pre1
+      || Locking.Locked.legal_prefix opposed_locked pre2);
+    ignore rest;
+    List.iter
+      (fun pre ->
+        if Locking.Locked.legal_prefix opposed_locked pre then
+          check_false "no completion from deadlock" (complete pre))
+      [ pre1; pre2 ]
+
+let test_sides () =
+  (* serial path T1-first passes every block below *)
+  let p_t1, p_t2 = Locking.Geometry.serial_paths geo in
+  List.iter
+    (fun (_, s) -> check_true "below" (s = Locking.Geometry.Below))
+    (Locking.Geometry.sides geo p_t1);
+  List.iter
+    (fun (_, s) -> check_true "above" (s = Locking.Geometry.Above))
+    (Locking.Geometry.sides geo p_t2)
+
+let test_geometric_serializability_cross () =
+  (* Figure 4(c): a path separates the blocks iff its projection is not
+     conflict-serializable. Cross-validate over all legal interleavings
+     of a well-formed 2PL-locked system... with same lock order the 2PL
+     blocks always connect, so also try a hand-built non-2PL locking. *)
+  List.iter
+    (fun locked ->
+      let g = Locking.Geometry.analyse locked in
+      List.iter
+        (fun il ->
+          if Locking.Locked.legal locked il then
+            let path = Locking.Geometry.path_of_interleaving il in
+            check_true "geometric = conflict serializability"
+              (Locking.Geometry.geometric_serializable g path
+              = Conflict.serializable locked.Locking.Locked.base
+                  (Locking.Locked.project locked il)))
+        (Combin.Interleave.all (Locking.Locked.format locked)))
+    [ fig3_locked; opposed_locked ]
+
+let non_two_phase_locked =
+  (* Releases x before locking y: legal interleavings can separate the
+     blocks — the incorrect-locking situation of Figure 4(c). *)
+  let s = Examples.fig3_pair in
+  let tx i =
+    [
+      Locking.Locked.Lock "x";
+      Locking.Locked.Action (Names.step i 0);
+      Locking.Locked.Unlock "x";
+      Locking.Locked.Lock "y";
+      Locking.Locked.Action (Names.step i 1);
+      Locking.Locked.Unlock "y";
+    ]
+  in
+  Locking.Locked.make s [ tx 0; tx 1 ]
+
+let test_incorrect_locking_separates_blocks () =
+  let g = Locking.Geometry.analyse non_two_phase_locked in
+  check_false "blocks disconnected" (Locking.Geometry.blocks_connected g);
+  (* find a legal interleaving whose projection is not serializable *)
+  let bad =
+    List.filter
+      (fun il ->
+        Locking.Locked.legal non_two_phase_locked il
+        && not
+             (Conflict.serializable Examples.fig3_pair
+                (Locking.Locked.project non_two_phase_locked il)))
+      (Combin.Interleave.all (Locking.Locked.format non_two_phase_locked))
+  in
+  check_true "non-serializable output exists" (bad <> []);
+  (* and geometrically these paths separate the blocks *)
+  List.iter
+    (fun il ->
+      check_false "path separates blocks"
+        (Locking.Geometry.geometric_serializable g
+           (Locking.Geometry.path_of_interleaving il)))
+    bad
+
+let test_2pl_blocks_connected () =
+  (* Figure 4(d): 2PL keeps all blocks connected via the common point u *)
+  check_true "fig3 blocks connected" (Locking.Geometry.blocks_connected geo);
+  (match Locking.Geometry.common_point geo with
+  | Some _ -> ()
+  | None -> Alcotest.fail "2PL blocks must share a common point");
+  check_true "opposed blocks connected too"
+    (Locking.Geometry.blocks_connected opposed_geo)
+
+let test_homotopy_serial_paths () =
+  (* the two serial paths are not homotopic when blocks exist between
+     them *)
+  let p_t1, p_t2 = Locking.Geometry.serial_paths geo in
+  check_false "serial paths in different classes"
+    (Locking.Geometry.homotopic geo p_t1 p_t2);
+  check_true "self homotopic" (Locking.Geometry.homotopic geo p_t1 p_t1)
+
+let test_homotopy_matches_sides () =
+  (* every legal path is homotopic to exactly the serial path on its
+     side, for the connected-blocks system *)
+  let p_t1, p_t2 = Locking.Geometry.serial_paths geo in
+  List.iter
+    (fun il ->
+      if Locking.Locked.legal fig3_locked il then begin
+        let path = Locking.Geometry.path_of_interleaving il in
+        match Locking.Geometry.sides geo path with
+        | (_, s) :: _ ->
+          let serial_mate =
+            if s = Locking.Geometry.Below then p_t1 else p_t2
+          in
+          check_true "homotopic to its serial mate"
+            (Locking.Geometry.homotopic geo path serial_mate)
+        | [] -> ()
+      end)
+    (Combin.Interleave.all (Locking.Locked.format fig3_locked))
+
+let test_path_points () =
+  let path = [| true; false; true |] in
+  Alcotest.(check (list (pair int int)))
+    "points" [ (0, 0); (1, 0); (1, 1); (2, 1) ]
+    (Locking.Geometry.path_points path)
+
+(* Property: elementary moves preserve legality and endpoints. *)
+let prop_elementary_moves_legal =
+  QCheck.Test.make ~name:"elementary moves stay legal" ~count:100
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let st = rng seed in
+      let fmt = Locking.Locked.format fig3_locked in
+      (* draw random legal interleaving by rejection *)
+      let rec draw k =
+        if k > 200 then None
+        else
+          let il = Combin.Interleave.random st fmt in
+          if Locking.Locked.legal fig3_locked il then Some il else draw (k + 1)
+      in
+      match draw 0 with
+      | None -> true
+      | Some il ->
+        let path = Locking.Geometry.path_of_interleaving il in
+        List.for_all
+          (fun p -> Locking.Geometry.path_legal geo p)
+          (Locking.Geometry.elementary_moves geo path))
+
+let suite =
+  [
+    Alcotest.test_case "extent" `Quick test_extent;
+    Alcotest.test_case "blocks" `Quick test_blocks;
+    Alcotest.test_case "legality cross-check" `Quick test_forbidden_matches_legality;
+    Alcotest.test_case "no deadlock same order" `Quick test_deadlock_region;
+    Alcotest.test_case "deadlock opposed order" `Quick test_deadlock_exists;
+    Alcotest.test_case "deadlock cross-validation" `Quick test_deadlock_cross_validation;
+    Alcotest.test_case "sides of serial paths" `Quick test_sides;
+    Alcotest.test_case "geometric serializability" `Quick test_geometric_serializability_cross;
+    Alcotest.test_case "incorrect locking separates" `Quick test_incorrect_locking_separates_blocks;
+    Alcotest.test_case "2PL blocks connected" `Quick test_2pl_blocks_connected;
+    Alcotest.test_case "serial paths not homotopic" `Quick test_homotopy_serial_paths;
+    Alcotest.test_case "homotopy matches sides" `Quick test_homotopy_matches_sides;
+    Alcotest.test_case "path points" `Quick test_path_points;
+  ]
+  @ qsuite [ prop_elementary_moves_legal ]
+
+(* --- the n-dimensional generalisation --- *)
+
+let test_nd_matches_2d () =
+  (* on two-transaction systems, the n-D analysis agrees with the 2-D *)
+  List.iter
+    (fun locked ->
+      let g2 = Locking.Geometry.analyse locked in
+      let gn = Locking.Geometry_nd.analyse locked in
+      let l1, l2 = Locking.Geometry.extent g2 in
+      for x = 0 to l1 do
+        for y = 0 to l2 do
+          check_true "forbidden agrees"
+            (Locking.Geometry.forbidden g2 (x, y)
+            = Locking.Geometry_nd.forbidden gn [| x; y |]);
+          check_true "safe agrees"
+            (Locking.Geometry.safe g2 (x, y)
+            = Locking.Geometry_nd.safe gn [| x; y |]);
+          check_true "deadlock agrees"
+            (Locking.Geometry.deadlock g2 (x, y)
+            = Locking.Geometry_nd.deadlock gn [| x; y |])
+        done
+      done)
+    [ fig3_locked; opposed_locked ]
+
+let test_nd_three_way_deadlock () =
+  (* the cyclic three-transaction pattern (x y), (y z), (z x): each
+     waits for the next — a deadlock no pair shows in isolation *)
+  let syntax =
+    Syntax.of_lists [ [ "x"; "y" ]; [ "y"; "z" ]; [ "z"; "x" ] ]
+  in
+  let locked = Locking.Two_phase.apply syntax in
+  let gn = Locking.Geometry_nd.analyse locked in
+  check_true "three-way deadlock region exists"
+    (Locking.Geometry_nd.has_deadlock gn);
+  (* preclaim's ordered acquisition removes it *)
+  let pre = Locking.Geometry_nd.analyse (Locking.Preclaim.apply syntax) in
+  check_false "preclaim has none" (Locking.Geometry_nd.has_deadlock pre)
+
+let prop_nd_legality_matches_lock_machine =
+  QCheck.Test.make ~name:"nD geometric legality = lock-machine legality"
+    ~count:40
+    (QCheck.make
+       QCheck.Gen.(pair (Util.syntax_gen ~max_n:3 ~max_m:2 ~n_vars:3) int))
+    (fun (syntax, seed) ->
+      let locked = Locking.Two_phase.apply syntax in
+      let gn = Locking.Geometry_nd.analyse locked in
+      let st = Util.rng seed in
+      let fmt = Locking.Locked.format locked in
+      let il = Combin.Interleave.random st fmt in
+      Locking.Geometry_nd.interleaving_legal gn il
+      = Locking.Locked.legal_prefix locked il)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "nD matches 2D" `Quick test_nd_matches_2d;
+      Alcotest.test_case "three-way deadlock" `Quick test_nd_three_way_deadlock;
+    ]
+  @ Util.qsuite [ prop_nd_legality_matches_lock_machine ]

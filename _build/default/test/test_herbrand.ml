@@ -1,0 +1,162 @@
+(* Tests for the Herbrand semantics and the serializability tests
+   (Sections 4.2 and 4.3): the brute-force Herbrand test, the polynomial
+   conflict-graph test, and their provable coincidence in the paper's
+   read-modify-write step model. *)
+
+open Util
+open Core
+
+let fig1 = Examples.fig1
+let fig1_syntax = fig1.System.syntax
+
+let test_fig1_not_serializable () =
+  (* The paper computes: serial Herbrand values are f12(f11(x0)) vs
+     f21(f12(f11(x0)))-style nestings, while h gives f12(f21(f11(x0))). *)
+  check_false "h not in SR" (Herbrand.serializable fig1_syntax Examples.fig1_history);
+  check_false "conflict test agrees"
+    (Conflict.serializable fig1_syntax Examples.fig1_history)
+
+let test_fig1_serial_equivalent_state () =
+  (* Under the given interpretations h produces the same state as the
+     serial history (T21, T11, T12): 2(x+2) from any x. *)
+  let serial = Schedule.serial (System.format fig1) [| 1; 0 |] in
+  List.iter
+    (fun x ->
+      let g = State.of_ints [ ("x", x) ] in
+      check_true "same concrete state"
+        (State.equal (Exec.run fig1 g Examples.fig1_history) (Exec.run fig1 g serial)))
+    [ -3; 0; 1; 7 ]
+
+let test_herbrand_terms_capture_history () =
+  let g = Herbrand.run fig1_syntax Examples.fig1_history in
+  let t = Names.Vmap.find "x" g in
+  (* h = (T11, T21, T12): T12's arguments are t11 = x0 (what T11 read)
+     and t12 = f21(f11(x0)) (what T12 itself read). *)
+  Alcotest.(check string) "term structure"
+    "f12(x0,f21(f11(x0)))"
+    (Herbrand.term_to_string t)
+
+let test_serial_schedules_serializable () =
+  List.iter
+    (fun h -> check_true "serial in SR" (Herbrand.serializable fig1_syntax h))
+    (Schedule.all_serial (System.format fig1))
+
+let test_witness_matches () =
+  (* (T21, T11, T12) as a schedule of fig1: tx1 first then tx0 *)
+  let h = Schedule.of_interleaving [| 1; 0; 0 |] in
+  match Herbrand.serialization_witness fig1_syntax h with
+  | Some order -> Alcotest.(check (array int)) "witness order" [| 1; 0 |] order
+  | None -> Alcotest.fail "serial schedule must have a witness"
+
+let test_disjoint_always_serializable () =
+  let s = Examples.indep in
+  List.iter
+    (fun h ->
+      check_true "disjoint vars serializable" (Conflict.serializable s h);
+      check_true "herbrand agrees" (Herbrand.serializable s h))
+    (Schedule.all (Syntax.format s))
+
+let test_hot_spot_only_serial () =
+  (* all steps on one variable: a schedule is serializable iff serial *)
+  let s = Examples.hot_spot 2 2 in
+  List.iter
+    (fun h ->
+      check_true "hot spot: SR = serial"
+        (Conflict.serializable s h = Schedule.is_serial h))
+    (Schedule.all (Syntax.format s))
+
+let test_conflict_graph_edges () =
+  let h = Schedule.of_interleaving [| 0; 1; 0 |] in
+  let g = Conflict.graph fig1_syntax h in
+  check_true "T1 -> T2" (Digraph.has_edge g 0 1);
+  check_true "T2 -> T1" (Digraph.has_edge g 1 0);
+  check_true "cycle" (Digraph.has_cycle g)
+
+let test_prefix_serializable () =
+  let h = Examples.fig1_history in
+  check_true "prefix 2 fine" (Conflict.prefix_serializable fig1_syntax h 2);
+  check_false "prefix 3 cyclic" (Conflict.prefix_serializable fig1_syntax h 3)
+
+let test_first_cycle () =
+  match Conflict.first_cycle fig1_syntax Examples.fig1_history with
+  | Some cyc ->
+    check_int "2-cycle" 2 (List.length cyc)
+  | None -> Alcotest.fail "expected a cycle"
+
+(* The central cross-validation: in the RMW step model, the polynomial
+   conflict test decides exactly the Herbrand brute-force SR relation. *)
+let prop_conflict_equals_herbrand =
+  QCheck.Test.make ~name:"conflict test = Herbrand brute force (RMW model)"
+    ~count:300
+    (arbitrary_syntax_and_schedule ~max_n:3 ~max_m:3 ~n_vars:2)
+    (fun (syntax, h) ->
+      Conflict.serializable syntax h = Herbrand.serializable syntax h)
+
+let prop_conflict_equals_herbrand_wide =
+  QCheck.Test.make
+    ~name:"conflict test = Herbrand brute force (more vars)" ~count:150
+    (arbitrary_syntax_and_schedule ~max_n:4 ~max_m:2 ~n_vars:4)
+    (fun (syntax, h) ->
+      Conflict.serializable syntax h = Herbrand.serializable syntax h)
+
+let prop_serial_always_sr =
+  QCheck.Test.make ~name:"serial schedules are serializable" ~count:200
+    (arbitrary_syntax_and_schedule ~max_n:4 ~max_m:3 ~n_vars:3)
+    (fun (syntax, _) ->
+      let fmt = Syntax.format syntax in
+      let st = rng (Syntax.n_steps syntax) in
+      let order = Combin.Perm.random st (Array.length fmt) in
+      Conflict.serializable syntax (Schedule.serial fmt order))
+
+let prop_witness_is_equivalent =
+  QCheck.Test.make ~name:"serialization witness reproduces the state"
+    ~count:150
+    (arbitrary_syntax_and_schedule ~max_n:3 ~max_m:3 ~n_vars:2)
+    (fun (syntax, h) ->
+      match Herbrand.serialization_witness syntax h with
+      | None -> not (Conflict.serializable syntax h)
+      | Some order ->
+        let serial = Schedule.serial (Syntax.format syntax) order in
+        Herbrand.equivalent syntax h serial)
+
+let prop_topo_order_is_witness =
+  QCheck.Test.make
+    ~name:"topological order of conflict graph is a Herbrand witness"
+    ~count:200
+    (arbitrary_syntax_and_schedule ~max_n:3 ~max_m:3 ~n_vars:3)
+    (fun (syntax, h) ->
+      match Conflict.serialization_orders syntax h with
+      | None -> true
+      | Some order ->
+        let serial = Schedule.serial (Syntax.format syntax) order in
+        Herbrand.equivalent syntax h serial)
+
+let prop_term_size_positive =
+  QCheck.Test.make ~name:"herbrand terms grow with history" ~count:100
+    (arbitrary_syntax_and_schedule ~max_n:3 ~max_m:3 ~n_vars:2)
+    (fun (syntax, h) ->
+      let g = Herbrand.run syntax h in
+      Names.Vmap.for_all (fun _ t -> Herbrand.term_size t >= 1) g)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 not serializable" `Quick test_fig1_not_serializable;
+    Alcotest.test_case "fig1 weakly equivalent" `Quick test_fig1_serial_equivalent_state;
+    Alcotest.test_case "terms capture history" `Quick test_herbrand_terms_capture_history;
+    Alcotest.test_case "serial in SR" `Quick test_serial_schedules_serializable;
+    Alcotest.test_case "witness order" `Quick test_witness_matches;
+    Alcotest.test_case "disjoint serializable" `Quick test_disjoint_always_serializable;
+    Alcotest.test_case "hot spot SR = serial" `Quick test_hot_spot_only_serial;
+    Alcotest.test_case "conflict graph edges" `Quick test_conflict_graph_edges;
+    Alcotest.test_case "prefix serializability" `Quick test_prefix_serializable;
+    Alcotest.test_case "first cycle" `Quick test_first_cycle;
+  ]
+  @ qsuite
+      [
+        prop_conflict_equals_herbrand;
+        prop_conflict_equals_herbrand_wide;
+        prop_serial_always_sr;
+        prop_witness_is_equivalent;
+        prop_topo_order_is_witness;
+        prop_term_size_positive;
+      ]

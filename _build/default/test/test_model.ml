@@ -1,0 +1,239 @@
+(* Tests for the core transaction-system model: syntax, states, schedules
+   and concrete execution — including the paper's Section 2 banking
+   example. *)
+
+open Util
+open Core
+
+let banking = Examples.banking
+let g0 = Examples.banking_initial
+
+let test_syntax_basics () =
+  let s = banking.System.syntax in
+  Alcotest.(check (array int)) "format" [| 3; 2; 4 |] (Syntax.format s);
+  check_int "transactions" 3 (Syntax.n_transactions s);
+  check_int "steps" 9 (Syntax.n_steps s);
+  Alcotest.(check string) "x11 = A" "A" (Syntax.var s (Names.step 0 0));
+  Alcotest.(check string) "x34 = C" "C" (Syntax.var s (Names.step 2 3));
+  Alcotest.(check (list string)) "vars" [ "A"; "B"; "C"; "S" ] (Syntax.vars s);
+  Alcotest.(check (list int)) "txs on A" [ 0; 2 ] (Syntax.transactions_on s "A");
+  check_int "steps on B" 3 (List.length (Syntax.steps_on s "B"))
+
+let test_syntax_rename () =
+  let s = Syntax.of_lists [ [ "x"; "y" ] ] in
+  let s' = Syntax.rename (fun v -> v ^ "'") s in
+  Alcotest.(check (list string)) "renamed" [ "x'"; "y'" ] (Syntax.vars s')
+
+let test_state_ops () =
+  let g = State.of_ints [ ("a", 1); ("b", 2) ] in
+  check_true "get" (Expr.Value.equal (State.get g "a") (Expr.Value.Int 1));
+  let g' = State.set g "a" (Expr.Value.Int 9) in
+  check_true "set" (Expr.Value.equal (State.get g' "a") (Expr.Value.Int 9));
+  check_false "persistent" (State.equal g g');
+  check_true "restrict"
+    (State.equal (State.restrict [ "b" ] g) (State.of_ints [ ("b", 2) ]))
+
+let test_state_enumerate () =
+  match
+    State.enumerate
+      [ ("p", Expr.Value.Bools); ("q", Expr.Value.Int_range (0, 2)) ]
+  with
+  | Some states ->
+    check_int "2*3 states" 6 (List.length states);
+    check_int "distinct" 6 (List.length (List.sort_uniq State.compare states))
+  | None -> Alcotest.fail "expected enumeration"
+
+let test_schedule_conversions () =
+  let il = [| 0; 1; 0; 2 |] in
+  let h = Schedule.of_interleaving il in
+  Alcotest.(check (array int)) "roundtrip" il (Schedule.to_interleaving h);
+  check_true "legal for (2,1,1)" (Schedule.is_schedule_of [| 2; 1; 1 |] h);
+  check_false "wrong format" (Schedule.is_schedule_of [| 1; 1; 1 |] h)
+
+let test_schedule_serial () =
+  let fmt = [| 2; 2 |] in
+  let h = Schedule.serial fmt [| 1; 0 |] in
+  check_true "serial" (Schedule.is_serial h);
+  (match Schedule.serial_order h with
+  | Some order -> Alcotest.(check (array int)) "order" [| 1; 0 |] order
+  | None -> Alcotest.fail "expected serial");
+  let mixed = Schedule.of_interleaving [| 0; 1; 0; 1 |] in
+  check_false "interleaved not serial" (Schedule.is_serial mixed);
+  check_int "all serial count" 2 (List.length (Schedule.all_serial fmt));
+  check_int "|H|" 6 (List.length (Schedule.all fmt))
+
+let test_banking_consistency () =
+  check_true "initial consistent" (System.consistent banking g0);
+  check_false "broken state"
+    (System.consistent banking (State.of_ints [ ("A", -1); ("B", 0); ("S", -1); ("C", 0) ]))
+
+let test_banking_t1 () =
+  (* transfer happens: A=150 >= 100, B=50 < 100 *)
+  let g = Exec.run_transaction banking g0 0 in
+  check_true "A decreased"
+    (Expr.Value.equal (State.get g "A") (Expr.Value.Int 50));
+  check_true "B increased"
+    (Expr.Value.equal (State.get g "B") (Expr.Value.Int 150));
+  check_true "still consistent" (System.consistent banking g);
+  (* no transfer when B is too rich *)
+  let rich = State.of_ints [ ("A", 150); ("B", 150); ("S", 300); ("C", 0) ] in
+  let g' = Exec.run_transaction banking rich 0 in
+  check_true "unchanged" (State.equal g' rich)
+
+let test_banking_t2 () =
+  let g = Exec.run_transaction banking g0 1 in
+  check_true "B withdrawn"
+    (Expr.Value.equal (State.get g "B") (Expr.Value.Int 0));
+  check_true "C counted"
+    (Expr.Value.equal (State.get g "C") (Expr.Value.Int 1));
+  check_true "still consistent" (System.consistent banking g)
+
+let test_banking_t3 () =
+  (* audit from a state where S is stale *)
+  let stale = State.of_ints [ ("A", 100); ("B", 0); ("S", 150); ("C", 1) ] in
+  check_true "stale consistent" (System.consistent banking stale);
+  let g = Exec.run_transaction banking stale 2 in
+  check_true "S = A+B"
+    (Expr.Value.equal (State.get g "S") (Expr.Value.Int 100));
+  check_true "C reset" (Expr.Value.equal (State.get g "C") (Expr.Value.Int 0));
+  check_true "consistent after audit" (System.consistent banking g)
+
+let test_banking_paper_state () =
+  (* The paper's second sample state: after T21 (B withdrawn) and the new
+     S computed by T31..T33 but C not yet reset:
+     execute T21, then T31, T32, T33 — globals (150, 0, 150, 0)?
+     The paper lists G = (150, 0, 150, 0) with A=150, B=0, S=150, C=0 —
+     meaning C was 0 all along (no T22 yet). *)
+  let h =
+    [| Names.step 1 0; Names.step 2 0; Names.step 2 1; Names.step 2 2 |]
+  in
+  let fmt = [| 0; 2; 4 |] in
+  ignore fmt;
+  (* run a prefix manually *)
+  let st = ref (Exec.start banking g0) in
+  Array.iter (fun id -> st := Exec.exec_step banking !st id) h;
+  let g = (!st).Exec.globals in
+  List.iter
+    (fun (v, n) ->
+      check_true (v ^ " matches paper")
+        (Expr.Value.equal (State.get g v) (Expr.Value.Int n)))
+    [ ("A", 150); ("B", 0); ("S", 150); ("C", 0) ]
+
+let test_banking_basic_assumption () =
+  let probes = Weak_sr.default_probes ~seed:42 ~count:40 banking in
+  check_true "all transactions correct" (Exec.basic_assumption banking ~probes)
+
+let test_serial_schedules_correct () =
+  (* our basic assumption implies serial schedules are correct *)
+  let fmt = System.format banking in
+  let probes = Weak_sr.default_probes ~seed:7 ~count:15 banking in
+  List.iter
+    (fun h ->
+      check_true "serial correct" (Exec.correct_schedule banking ~probes h))
+    (Schedule.all_serial fmt)
+
+let test_banking_race () =
+  (* An interleaving that breaks the audit invariant: T3 reads A before
+     T1's transfer and B after it — the classical inconsistent audit. *)
+  let h =
+    Schedule.of_interleaving [| 2 (* T31 reads A=150 *); 0; 0; 0 (* transfer *);
+                                2 (* T32 reads B=150 *); 2 (* S <- 300! *); 2;
+                                1; 1 |]
+  in
+  let g = Exec.run banking g0 h in
+  check_false "audit inconsistent" (System.consistent banking g)
+
+let test_not_eligible () =
+  let h = [| Names.step 0 1 |] in
+  Alcotest.check_raises "skipping a step" (Exec.Not_eligible (Names.step 0 1))
+    (fun () -> ignore (Exec.run banking g0 h))
+
+let test_step_kinds () =
+  check_true "phi11 read" (System.step_kind banking (Names.step 0 0) = `Read);
+  check_true "phi34 write" (System.step_kind banking (Names.step 2 3) = `Write);
+  check_true "phi21 update" (System.step_kind banking (Names.step 1 0) = `Update)
+
+let test_domain_validation () =
+  let sys =
+    System.make
+      ~domains:[ ("b", Expr.Value.Bools) ]
+      (Syntax.of_lists [ [ "b" ] ])
+      [| [| Expr.Ast.Local 0 |] |]
+  in
+  Alcotest.check_raises "int outside Bools domain"
+    (Invalid_argument "Exec.start: b=7 outside its domain") (fun () ->
+      ignore (Exec.start sys (State.of_ints [ ("b", 7) ])));
+  Alcotest.check_raises "unbound variable"
+    (Invalid_argument "Exec.start: initial state does not bind b") (fun () ->
+      ignore (Exec.start sys State.empty))
+
+let test_make_validation () =
+  let s = Syntax.of_lists [ [ "x"; "y" ] ] in
+  (* phi_11 may not use t12 *)
+  let bad = [| [| Expr.Ast.Local 1; Expr.Ast.Local 1 |] |] in
+  check_true "future local rejected"
+    (try ignore (System.make s bad); false with Invalid_argument _ -> true);
+  let bad2 = [| [| Expr.Ast.Global "x"; Expr.Ast.Local 1 |] |] in
+  check_true "global in phi rejected"
+    (try ignore (System.make s bad2); false with Invalid_argument _ -> true);
+  let bad3 = [| [| Expr.Ast.Local 0 |] |] in
+  check_true "format mismatch rejected"
+    (try ignore (System.make s bad3); false with Invalid_argument _ -> true)
+
+(* Property: executing a serial schedule equals composing whole
+   transactions. *)
+let prop_serial_is_composition =
+  QCheck.Test.make ~name:"serial run = transaction composition" ~count:100
+    QCheck.(int_range 0 5)
+    (fun seed ->
+      let st = rng seed in
+      let order = Combin.Perm.random st 3 in
+      let h = Schedule.serial (System.format banking) order in
+      let by_schedule = Exec.run banking g0 h in
+      let by_composition =
+        Exec.run_concatenation banking g0 (Array.to_list order)
+      in
+      State.equal by_schedule by_composition)
+
+(* Property: execution is deterministic. *)
+let prop_deterministic =
+  QCheck.Test.make ~name:"execution is deterministic" ~count:50
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let st = rng seed in
+      let h = Schedule.random st (System.format banking) in
+      State.equal (Exec.run banking g0 h) (Exec.run banking g0 h))
+
+(* Property: run_trace's last state equals run. *)
+let prop_trace_consistent =
+  QCheck.Test.make ~name:"run_trace ends at run's state" ~count:50
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let st = rng seed in
+      let h = Schedule.random st (System.format banking) in
+      match List.rev (Exec.run_trace banking g0 h) with
+      | last :: _ -> State.equal last (Exec.run banking g0 h)
+      | [] -> false)
+
+let suite =
+  [
+    Alcotest.test_case "syntax basics" `Quick test_syntax_basics;
+    Alcotest.test_case "syntax rename" `Quick test_syntax_rename;
+    Alcotest.test_case "state operations" `Quick test_state_ops;
+    Alcotest.test_case "state enumeration" `Quick test_state_enumerate;
+    Alcotest.test_case "schedule conversions" `Quick test_schedule_conversions;
+    Alcotest.test_case "schedule serial" `Quick test_schedule_serial;
+    Alcotest.test_case "banking consistency" `Quick test_banking_consistency;
+    Alcotest.test_case "banking T1 transfer" `Quick test_banking_t1;
+    Alcotest.test_case "banking T2 withdraw" `Quick test_banking_t2;
+    Alcotest.test_case "banking T3 audit" `Quick test_banking_t3;
+    Alcotest.test_case "banking paper state" `Quick test_banking_paper_state;
+    Alcotest.test_case "banking basic assumption" `Quick test_banking_basic_assumption;
+    Alcotest.test_case "serial schedules correct" `Quick test_serial_schedules_correct;
+    Alcotest.test_case "banking race detected" `Quick test_banking_race;
+    Alcotest.test_case "illegal schedule rejected" `Quick test_not_eligible;
+    Alcotest.test_case "step kinds" `Quick test_step_kinds;
+    Alcotest.test_case "domain validation" `Quick test_domain_validation;
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+  ]
+  @ qsuite [ prop_serial_is_composition; prop_deterministic; prop_trace_consistent ]

@@ -1,0 +1,184 @@
+(* Tests for the recoverability classes and strict 2PL — the [Gray 78]
+   recovery dimension the paper cites. *)
+
+open Util
+open Core
+
+let r v = Rw_model.Read v
+let w v = Rw_model.Write v
+let act s = Recovery.Act s
+let step i j a = { Rw_model.id = Names.step i j; action = a }
+
+let test_of_rw () =
+  let h = Rw_model.make [ [ w "x" ]; [ r "x" ] ] in
+  let eh = Recovery.of_rw h in
+  check_int "events" 4 (Array.length eh);
+  check_true "well-formed" (Recovery.well_formed 2 eh);
+  let eh' = Recovery.of_rw ~aborts:[ 1 ] h in
+  check_true "abort variant well-formed" (Recovery.well_formed 2 eh')
+
+let test_well_formed_rejects () =
+  let bad = [| Recovery.Commit 0; act (step 0 0 (w "x")) |] in
+  check_false "terminal before action" (Recovery.well_formed 1 bad);
+  let bad2 = [| act (step 0 0 (w "x")) |] in
+  check_false "missing terminal" (Recovery.well_formed 1 bad2);
+  let bad3 = [| act (step 0 0 (w "x")); Recovery.Commit 0; Recovery.Commit 0 |] in
+  check_false "double terminal" (Recovery.well_formed 1 bad3)
+
+(* W1(x) R2(x) ... : T2 reads T1's uncommitted write. *)
+let dirty_read order_of_commits =
+  [| act (step 0 0 (w "x")); act (step 1 0 (r "x")) |]
+  |> fun acts -> Array.append acts order_of_commits
+
+let test_hierarchy_witnesses () =
+  (* strict: T1 commits before T2 even touches x *)
+  let st =
+    [| act (step 0 0 (w "x")); Recovery.Commit 0;
+       act (step 1 0 (r "x")); Recovery.Commit 1 |]
+  in
+  Alcotest.(check string) "strict" "ST" (Recovery.classify 2 st);
+  (* ACA but not ST: T2 overwrites dirty data but never reads it *)
+  let aca =
+    [| act (step 0 0 (w "x")); act (step 1 0 (w "x")); Recovery.Commit 0;
+       Recovery.Commit 1 |]
+  in
+  check_false "overwrite of dirty data is not strict" (Recovery.strict 2 aca);
+  check_true "but avoids cascading aborts"
+    (Recovery.avoids_cascading_aborts 2 aca);
+  Alcotest.(check string) "ACA" "ACA" (Recovery.classify 2 aca);
+  (* RC but not ACA: dirty read, commits in the right order *)
+  let rc = dirty_read [| Recovery.Commit 0; Recovery.Commit 1 |] in
+  check_false "dirty read not ACA" (Recovery.avoids_cascading_aborts 2 rc);
+  check_true "recoverable" (Recovery.recoverable 2 rc);
+  Alcotest.(check string) "RC" "RC" (Recovery.classify 2 rc);
+  (* not even RC: reader commits first *)
+  let bad = dirty_read [| Recovery.Commit 1; Recovery.Commit 0 |] in
+  check_false "premature reader commit" (Recovery.recoverable 2 bad);
+  Alcotest.(check string) "none" "-" (Recovery.classify 2 bad)
+
+let test_aborted_writer () =
+  (* reader commits although the writer aborted: unrecoverable *)
+  let h = dirty_read [| Recovery.Abort 0; Recovery.Commit 1 |] in
+  check_false "reading from an aborted writer" (Recovery.recoverable 2 h);
+  (* reader aborts too: fine *)
+  let h' = dirty_read [| Recovery.Abort 0; Recovery.Abort 1 |] in
+  check_true "both abort" (Recovery.recoverable 2 h')
+
+let test_inclusions () =
+  (* ST => ACA => RC on a batch of small event histories *)
+  let all_histories =
+    (* every interleaving of two 2-action transactions with immediate
+       trailing commits in both orders *)
+    let per_tx = [ [ r "x"; w "x" ]; [ w "x"; r "x" ] ] in
+    let fmt = [| 2; 2 |] in
+    List.concat_map
+      (fun il ->
+        let h = Rw_model.interleave per_tx il in
+        [ Recovery.of_rw h;
+          Array.append
+            (Array.map (fun s -> Recovery.Act s) h)
+            [| Recovery.Commit 1; Recovery.Commit 0 |] ])
+      (Combin.Interleave.all fmt)
+  in
+  List.iter
+    (fun h ->
+      if Recovery.strict 2 h then
+        check_true "ST => ACA" (Recovery.avoids_cascading_aborts 2 h);
+      if Recovery.avoids_cascading_aborts 2 h then
+        check_true "ACA => RC" (Recovery.recoverable 2 h))
+    all_histories
+
+let test_strict_2pl_policy_shape () =
+  let s = Syntax.of_lists [ [ "x"; "y"; "x" ] ] in
+  let l = Locking.Two_phase_strict.apply s in
+  let strings =
+    Array.to_list
+      (Array.map
+         (fun st -> Format.asprintf "%a" Locking.Locked.pp_step st)
+         l.Locking.Locked.txs.(0))
+  in
+  Alcotest.(check (list string)) "all unlocks at the end"
+    [ "lock x"; "T11"; "lock y"; "T12"; "T13"; "unlock x"; "unlock y" ]
+    strings;
+  check_true "two-phase" (Locking.Locked.is_two_phase l)
+
+let test_strict_2pl_dominated_by_2pl () =
+  List.iter
+    (fun s ->
+      check_true "strict-2PL correct"
+        (Locking.Policy.correct_exhaustive Locking.Two_phase_strict.policy s);
+      check_true "2PL dominates strict-2PL"
+        (Locking.Policy.dominates Locking.Two_phase.policy
+           Locking.Two_phase_strict.policy s))
+    [
+      Examples.fig3_pair;
+      Syntax.of_lists [ [ "x"; "y" ]; [ "y"; "x" ] ];
+      Syntax.of_lists [ [ "x"; "y"; "z" ]; [ "x" ] ];
+    ];
+  (* strictness witness: with (x then y) vs (x), 2PL releases x before
+     T12 once y is locked, strict 2PL does not *)
+  let s = Syntax.of_lists [ [ "x"; "y"; "z" ]; [ "x" ] ] in
+  check_true "strictly fewer outputs"
+    (Locking.Policy.strictly_better Locking.Two_phase.policy
+       Locking.Two_phase_strict.policy s)
+
+(* Property: any interleaving admitted by strict rw-2PL-style execution
+   with commits at transaction end is strict. We approximate using the
+   exclusive-only rw locking with locks held to the end = the
+   Two_phase_strict discipline transported to rw histories: reads and
+   overwrites of uncommitted data are impossible. *)
+let prop_strict_2pl_histories_strict =
+  QCheck.Test.make ~name:"strict-2PL outputs yield strict event histories"
+    ~count:40
+    (QCheck.make (syntax_gen ~max_n:2 ~max_m:3 ~n_vars:2))
+    (fun syntax ->
+      let locked = Locking.Two_phase_strict.apply syntax in
+      List.for_all
+        (fun h ->
+          (* base schedule -> rw history (every step = read-modify-write
+             = a write for conflict purposes); serial commits appended in
+             completion order *)
+          let completion_order =
+            Array.to_list h
+            |> List.mapi (fun p (id : Names.step_id) -> (p, id.Names.tx))
+            |> List.fold_left
+                 (fun acc (_, tx) -> if List.mem tx acc then acc else acc @ [ tx ])
+                 []
+          in
+          ignore completion_order;
+          (* RMW steps both read and write: encode each as write (the
+             stronger access) for strictness checking *)
+          let rw =
+            Array.map
+              (fun (id : Names.step_id) ->
+                {
+                  Rw_model.id;
+                  action = Rw_model.Write (Syntax.var syntax id);
+                })
+              h
+          in
+          (* commit each transaction right after its last step *)
+          let n = Syntax.n_transactions syntax in
+          let fmt = Syntax.format syntax in
+          let events = ref [] in
+          Array.iteri
+            (fun _ (s : Rw_model.step) ->
+              events := Recovery.Act s :: !events;
+              if s.Rw_model.id.Names.idx = fmt.(s.Rw_model.id.Names.tx) - 1 then
+                events := Recovery.Commit s.Rw_model.id.Names.tx :: !events)
+            rw;
+          let eh = Array.of_list (List.rev !events) in
+          Recovery.well_formed n eh && Recovery.strict n eh)
+        (Locking.Locked.outputs locked))
+
+let suite =
+  [
+    Alcotest.test_case "of_rw" `Quick test_of_rw;
+    Alcotest.test_case "well-formedness" `Quick test_well_formed_rejects;
+    Alcotest.test_case "hierarchy witnesses" `Quick test_hierarchy_witnesses;
+    Alcotest.test_case "aborted writer" `Quick test_aborted_writer;
+    Alcotest.test_case "inclusions" `Quick test_inclusions;
+    Alcotest.test_case "strict 2PL shape" `Quick test_strict_2pl_policy_shape;
+    Alcotest.test_case "strict 2PL dominated" `Quick test_strict_2pl_dominated_by_2pl;
+  ]
+  @ qsuite [ prop_strict_2pl_histories_strict ]

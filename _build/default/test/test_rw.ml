@@ -1,0 +1,170 @@
+(* Tests for the read/write refinement (X1): the classical separations
+   CSR ⊊ VSR ⊊ FSR appear exactly where blind writes and dead reads
+   enter, and all three notions agree on serial histories. *)
+
+open Util
+open Core
+
+let t_simple = [ [ Rw_model.Read "x"; Rw_model.Write "x" ]; [ Rw_model.Read "x"; Rw_model.Write "x" ] ]
+
+let test_make_and_interleave () =
+  let h = Rw_model.make t_simple in
+  check_int "length" 4 (Array.length h);
+  let h' = Rw_model.interleave t_simple [| 0; 0; 1; 1 |] in
+  check_true "serial interleave = make" (h = h');
+  check_true "wrong counts rejected"
+    (try ignore (Rw_model.interleave t_simple [| 0; 0; 0; 1 |]); false
+     with Invalid_argument _ -> true)
+
+let test_lost_update_not_csr () =
+  (* the classic lost update: R1(x) R2(x) W1(x) W2(x) *)
+  let h = Rw_model.interleave t_simple [| 0; 1; 0; 1 |] in
+  check_false "not CSR" (Rw_model.conflict_serializable 2 h);
+  check_false "not VSR" (Rw_model.view_serializable 2 h);
+  check_false "not FSR" (Rw_model.final_state_serializable 2 h)
+
+let test_serial_all_serializable () =
+  let h = Rw_model.make t_simple in
+  check_true "CSR" (Rw_model.conflict_serializable 2 h);
+  check_true "VSR" (Rw_model.view_serializable 2 h);
+  check_true "FSR" (Rw_model.final_state_serializable 2 h)
+
+let test_vsr_not_csr () =
+  let n, h = Rw_model.csr_implies_vsr_witness () in
+  check_false "not CSR" (Rw_model.conflict_serializable n h);
+  check_true "but VSR" (Rw_model.view_serializable n h);
+  check_true "and FSR" (Rw_model.final_state_serializable n h)
+
+let test_fsr_not_vsr () =
+  let n, h = Rw_model.vsr_not_fsr_witness () in
+  check_false "not VSR" (Rw_model.view_serializable n h);
+  check_true "but FSR" (Rw_model.final_state_serializable n h)
+
+let test_view_facts () =
+  (* W2(x) R1(x): the read reads from T2 *)
+  let h =
+    Rw_model.interleave
+      [ [ Rw_model.Read "x" ]; [ Rw_model.Write "x" ] ]
+      [| 1; 0 |]
+  in
+  let h_serial =
+    Rw_model.interleave
+      [ [ Rw_model.Read "x" ]; [ Rw_model.Write "x" ] ]
+      [| 0; 1 |]
+  in
+  check_false "different reads-from" (Rw_model.view_equivalent 2 h h_serial);
+  check_true "equivalent to itself" (Rw_model.view_equivalent 2 h h)
+
+let test_pp () =
+  let _, h = Rw_model.csr_implies_vsr_witness () in
+  Alcotest.(check string) "rendering" "(R1(x), W2(x), W1(x), W3(x))"
+    (Format.asprintf "%a" Rw_model.pp h)
+
+(* Random histories over 2-3 transactions, 1-2 variables. *)
+let history_gen =
+  QCheck.Gen.(
+    int_range 2 3 >>= fun n ->
+    let tx_gen =
+      list_size (int_range 1 3)
+        (map2
+           (fun w v ->
+             let var = if v then "x" else "y" in
+             if w then Rw_model.Write var else Rw_model.Read var)
+           bool bool)
+    in
+    let rec build i acc = if i = 0 then return (List.rev acc)
+      else tx_gen >>= fun t -> build (i - 1) (t :: acc)
+    in
+    build n [] >>= fun per_tx ->
+    let fmt = Array.of_list (List.map List.length per_tx) in
+    map
+      (fun seed ->
+        let st = Random.State.make [| seed |] in
+        (n, Rw_model.interleave per_tx (Combin.Interleave.random st fmt)))
+      int)
+
+let arbitrary_history =
+  QCheck.make ~print:(fun (_, h) -> Format.asprintf "%a" Rw_model.pp h)
+    history_gen
+
+(* The implication chain: CSR => VSR => FSR. *)
+let prop_csr_implies_vsr =
+  QCheck.Test.make ~name:"CSR implies VSR" ~count:300 arbitrary_history
+    (fun (n, h) ->
+      (not (Rw_model.conflict_serializable n h))
+      || Rw_model.view_serializable n h)
+
+let prop_vsr_implies_fsr =
+  QCheck.Test.make ~name:"VSR implies FSR" ~count:300 arbitrary_history
+    (fun (n, h) ->
+      (not (Rw_model.view_serializable n h))
+      || Rw_model.final_state_serializable n h)
+
+(* View equivalence implies final-state equivalence (against the serial
+   reference). *)
+let prop_view_implies_final =
+  QCheck.Test.make ~name:"view equivalence implies final-state equivalence"
+    ~count:300 arbitrary_history
+    (fun (n, h) ->
+      let actions =
+        Array.init n (fun _ -> [])
+        |> fun buckets ->
+        Array.iter
+          (fun (s : Rw_model.step) ->
+            buckets.(s.Rw_model.id.Names.tx) <-
+              buckets.(s.Rw_model.id.Names.tx) @ [ s.Rw_model.action ])
+          h;
+        buckets
+      in
+      let serial =
+        Rw_model.make (Array.to_list actions)
+      in
+      (not (Rw_model.view_equivalent n h serial))
+      || Rw_model.final_state_equivalent n h serial)
+
+let suite =
+  [
+    Alcotest.test_case "make/interleave" `Quick test_make_and_interleave;
+    Alcotest.test_case "lost update" `Quick test_lost_update_not_csr;
+    Alcotest.test_case "serial serializable" `Quick test_serial_all_serializable;
+    Alcotest.test_case "VSR not CSR witness" `Quick test_vsr_not_csr;
+    Alcotest.test_case "FSR not VSR witness" `Quick test_fsr_not_vsr;
+    Alcotest.test_case "view facts" `Quick test_view_facts;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]
+  @ qsuite [ prop_csr_implies_vsr; prop_vsr_implies_fsr; prop_view_implies_final ]
+
+(* --- the polygraph decision procedure --- *)
+
+let test_polygraph_witnesses () =
+  let n1, w1 = Rw_model.csr_implies_vsr_witness () in
+  check_true "polygraph accepts the VSR witness"
+    (Rw_model.view_serializable_polygraph n1 w1);
+  let n2, w2 = Rw_model.vsr_not_fsr_witness () in
+  check_false "polygraph rejects the non-VSR witness"
+    (Rw_model.view_serializable_polygraph n2 w2);
+  let lost = Rw_model.interleave t_simple [| 0; 1; 0; 1 |] in
+  check_false "polygraph rejects the lost update"
+    (Rw_model.view_serializable_polygraph 2 lost)
+
+let test_polygraph_own_write () =
+  (* reading your own write must not self-loop the polygraph *)
+  let per_tx = [ [ Rw_model.Write "x"; Rw_model.Read "x" ] ] in
+  let h = Rw_model.make per_tx in
+  check_true "single tx trivially VSR"
+    (Rw_model.view_serializable_polygraph 1 h)
+
+let prop_polygraph_equals_brute =
+  QCheck.Test.make ~name:"polygraph = brute-force view serializability"
+    ~count:400 arbitrary_history
+    (fun (n, h) ->
+      Rw_model.view_serializable_polygraph n h
+      = Rw_model.view_serializable n h)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "polygraph witnesses" `Quick test_polygraph_witnesses;
+      Alcotest.test_case "polygraph own write" `Quick test_polygraph_own_write;
+    ]
+  @ qsuite [ prop_polygraph_equals_brute ]

@@ -1,0 +1,135 @@
+(* Tests for weak serializability (Section 4.3, Theorem 4). *)
+
+open Util
+open Core
+
+let fig1 = Examples.fig1
+let probes = List.map (fun x -> State.of_ints [ ("x", x) ]) [ -4; -1; 0; 1; 2; 5 ]
+
+let test_fig1_weakly_serializable () =
+  (* The paper's motivating example: h = (T11, T21, T12) is not
+     serializable, yet with the given interpretations it reaches the same
+     state as the serial history (T21, T11, T12) from every state. *)
+  match Weak_sr.check fig1 ~probes Examples.fig1_history with
+  | Weak_sr.Weakly_serializable witnesses ->
+    check_int "one witness per probe" (List.length probes) (List.length witnesses)
+  | Weak_sr.Refuted e ->
+    Alcotest.failf "unexpected refutation from %s" (State.to_string e)
+
+let test_sr_subset_wsr () =
+  (* SR(T) ⊆ WSR(T) on the whole schedule space of fig1 *)
+  let syntax = fig1.System.syntax in
+  List.iter
+    (fun h ->
+      if Conflict.serializable syntax h then
+        check_true "SR inside WSR"
+          (Weak_sr.is_weakly_serializable fig1 ~probes h))
+    (Schedule.all (System.format fig1))
+
+let test_wsr_strictly_larger () =
+  check_false "fig1 history not in SR"
+    (Conflict.serializable fig1.System.syntax Examples.fig1_history);
+  check_true "but in WSR"
+    (Weak_sr.is_weakly_serializable fig1 ~probes Examples.fig1_history)
+
+let test_refutation () =
+  (* Make T2 square instead: h = (T11, T21, T12) from x=1 gives
+     2·(1+1)² = 8, while serial compositions of x ↦ 2(x+1) and x ↦ x²
+     from 1 only reach {1, 4, 10, 16, 22, ...} — never 8. *)
+  let open Expr.Ast in
+  let syntax = Syntax.of_lists [ [ "x"; "x" ]; [ "x" ] ] in
+  let sys =
+    System.make syntax
+      [|
+        [| Add (Local 0, int 1); Mul (int 2, Local 1) |];
+        [| Mul (Local 0, Local 0) |];
+      |]
+  in
+  let p = List.map (fun x -> State.of_ints [ ("x", x) ]) [ 1 ] in
+  match Weak_sr.check sys ~probes:p Examples.fig1_history with
+  | Weak_sr.Refuted e -> check_true "refuted at x=1" (State.equal e (List.hd p))
+  | Weak_sr.Weakly_serializable _ ->
+    Alcotest.fail "expected refutation"
+
+let test_reachable_finals () =
+  (* fig1 from x=0: reachable final values under concatenations of
+     T1 (x -> 2(x+1)) and T2 (x -> x+1) up to length 4 *)
+  let e = State.of_ints [ ("x", 0) ] in
+  let reach = Weak_sr.reachable_finals ~max_len:2 fig1 e in
+  let values =
+    List.map (fun (g, _) -> Expr.Value.int (State.get g "x")) reach
+    |> List.sort_uniq Int.compare
+  in
+  (* length <= 2: {} -> 0; T1 -> 2; T2 -> 1; T1T1 -> 6; T1T2 -> 3;
+     T2T1 -> 4; T2T2 -> 2 *)
+  Alcotest.(check (list int)) "reachable values" [ 0; 1; 2; 3; 4; 6 ] values
+
+let test_witness_concatenation_replays () =
+  (* the witness concatenation must actually reproduce the final state *)
+  match Weak_sr.check fig1 ~probes Examples.fig1_history with
+  | Weak_sr.Refuted _ -> Alcotest.fail "unexpected refutation"
+  | Weak_sr.Weakly_serializable witnesses ->
+    List.iter2
+      (fun e w ->
+        let by_h = Exec.run fig1 e Examples.fig1_history in
+        let by_w = Exec.run_concatenation fig1 e w in
+        check_true "witness replays" (State.equal by_h by_w))
+      probes witnesses
+
+let test_default_probes_finite () =
+  let open Expr.Ast in
+  let sys =
+    System.make
+      ~domains:[ ("b", Expr.Value.Bools); ("c", Expr.Value.Int_range (0, 2)) ]
+      (Syntax.of_lists [ [ "b"; "c" ] ])
+      [| [| Local 0; Local 1 |] |]
+  in
+  let p = Weak_sr.default_probes ~seed:1 sys in
+  check_int "full enumeration" 6 (List.length p)
+
+let test_default_probes_infinite () =
+  let p = Weak_sr.default_probes ~seed:1 ~count:10 fig1 in
+  check_int "sampled" 10 (List.length p)
+
+(* Property: WSR contains every serial schedule (witness: that very
+   permutation). *)
+let prop_serial_in_wsr =
+  QCheck.Test.make ~name:"serial schedules are weakly serializable" ~count:40
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let st = rng seed in
+      let order = Combin.Perm.random st 2 in
+      let h = Schedule.serial (System.format fig1) order in
+      Weak_sr.is_weakly_serializable fig1 ~probes h)
+
+(* Property: on systems where every transaction is the identity, every
+   schedule is weakly serializable (final state = initial = empty
+   concatenation). *)
+let prop_identity_system_all_wsr =
+  QCheck.Test.make ~name:"identity systems: all schedules in WSR" ~count:60
+    (arbitrary_syntax_and_schedule ~max_n:3 ~max_m:2 ~n_vars:2)
+    (fun (syntax, h) ->
+      let fmt = Syntax.format syntax in
+      let interp =
+        Array.map (fun m -> Array.init m (fun j -> Expr.Ast.Local j)) fmt
+      in
+      let sys = System.make syntax interp in
+      let p =
+        List.map
+          (fun (x, y) -> State.of_ints [ ("x", x); ("y", y) ])
+          [ (0, 0); (1, 2) ]
+      in
+      Weak_sr.is_weakly_serializable sys ~probes:p h)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 weakly serializable" `Quick test_fig1_weakly_serializable;
+    Alcotest.test_case "SR subset of WSR" `Quick test_sr_subset_wsr;
+    Alcotest.test_case "WSR strictly larger" `Quick test_wsr_strictly_larger;
+    Alcotest.test_case "refutation" `Quick test_refutation;
+    Alcotest.test_case "reachable finals" `Quick test_reachable_finals;
+    Alcotest.test_case "witness replays" `Quick test_witness_concatenation_replays;
+    Alcotest.test_case "default probes finite" `Quick test_default_probes_finite;
+    Alcotest.test_case "default probes sampled" `Quick test_default_probes_infinite;
+  ]
+  @ qsuite [ prop_serial_in_wsr; prop_identity_system_all_wsr ]

@@ -1,0 +1,52 @@
+(* Shared helpers for the test suite. *)
+
+let qsuite cases = List.map QCheck_alcotest.to_alcotest cases
+
+let check_true name b = Alcotest.(check bool) name true b
+let check_false name b = Alcotest.(check bool) name false b
+let check_int name expected actual = Alcotest.(check int) name expected actual
+
+(* A deterministic RNG per test to keep failures reproducible. *)
+let rng seed = Random.State.make [| 0xC0FFEE; seed |]
+
+(* Generator for a format (m_1..m_n) with n in [1..max_n], m in [1..max_m]. *)
+let format_gen ~max_n ~max_m =
+  QCheck.Gen.(
+    int_range 1 max_n >>= fun n ->
+    array_size (return n) (int_range 1 max_m))
+
+(* Generator for a syntax over [n_vars] variables. *)
+let var_names = [| "x"; "y"; "z"; "u"; "v"; "w" |]
+
+let syntax_gen ~max_n ~max_m ~n_vars =
+  QCheck.Gen.(
+    format_gen ~max_n ~max_m >>= fun fmt ->
+    let tx m = array_size (return m) (map (fun i -> var_names.(i)) (int_range 0 (n_vars - 1))) in
+    let rec build i acc =
+      if i < 0 then return (Core.Syntax.make (Array.of_list acc))
+      else tx fmt.(i) >>= fun t -> build (i - 1) (t :: acc)
+    in
+    build (Array.length fmt - 1) [])
+
+(* Generator for a schedule of a given format, as an interleaving drawn
+   uniformly. *)
+let schedule_of_format_gen fmt =
+  QCheck.Gen.(
+    map
+      (fun seed ->
+        let st = Random.State.make [| seed |] in
+        Core.Schedule.random st fmt)
+      int)
+
+(* A syntax together with one of its schedules. *)
+let syntax_and_schedule_gen ~max_n ~max_m ~n_vars =
+  QCheck.Gen.(
+    syntax_gen ~max_n ~max_m ~n_vars >>= fun syntax ->
+    schedule_of_format_gen (Core.Syntax.format syntax) >>= fun h ->
+    return (syntax, h))
+
+let arbitrary_syntax_and_schedule ~max_n ~max_m ~n_vars =
+  QCheck.make
+    ~print:(fun (s, h) ->
+      Format.asprintf "%a / %a" Core.Syntax.pp s Core.Schedule.pp h)
+    (syntax_and_schedule_gen ~max_n ~max_m ~n_vars)
