@@ -26,6 +26,7 @@ let experiments =
     ("X2", Exp_rw.x2);
     ("X3", Exp_rw.x3);
     ("P4", Exp_cost.run);
+    ("S1", Exp_analysis.run);
   ]
 
 let () =

@@ -4,6 +4,7 @@
      ccopt classify  --syntax "xy,yx"           fixpoint hierarchy
      ccopt herbrand  --syntax "xx,x" --schedule 010
      ccopt geometry  --syntax "xy,xy" --policy 2pl
+     ccopt analyze   --syntax "xy,yx" --schedule 0101 [--policy 2pl] [--json]
      ccopt schedule  --syntax "xy,yx" --arrivals 0101 --scheduler sgt
      ccopt verify    [--k 2]                    theorem micro-universes
      ccopt measure   --syntax "xy,yx" --samples 500
@@ -11,36 +12,12 @@
 
 open Core
 
-(* ---------- shared argument parsing ---------- *)
+(* ---------- shared argument parsing (see Analysis.Analyze) ---------- *)
 
-let parse_syntax spec =
-  let groups = String.split_on_char ',' spec in
-  Syntax.of_lists
-    (List.map
-       (fun g ->
-         if g = "" then invalid_arg "empty transaction in --syntax";
-         List.init (String.length g) (fun i -> String.make 1 g.[i]))
-       groups)
-
-let parse_interleaving spec =
-  Array.init (String.length spec) (fun i ->
-      let c = spec.[i] in
-      if c < '0' || c > '9' then invalid_arg "--schedule expects digits";
-      Char.code c - Char.code '0')
-
-let policy_of_name = function
-  | "2pl" -> Locking.Two_phase.policy
-  | "2pl'" | "2plprime" -> Locking.Two_phase_prime.policy ~distinguished:"x"
-  | "preclaim" -> Locking.Preclaim.policy
-  | "mutex" -> Locking.Mutex_policy.policy
-  | name -> invalid_arg ("unknown policy " ^ name ^ " (2pl, 2pl', preclaim, mutex)")
-
-let scheduler_of_name syntax = function
-  | "serial" -> fun () -> Sched.Serial_sched.create ~fmt:(Syntax.format syntax)
-  | "sgt" -> fun () -> Sched.Sgt.create ~syntax
-  | "2pl" -> fun () -> Sched.Tpl_sched.create_2pl ~syntax
-  | "to" -> fun () -> Sched.Timestamp.create ~syntax
-  | name -> invalid_arg ("unknown scheduler " ^ name ^ " (serial, sgt, 2pl, to)")
+let parse_syntax = Analysis.Analyze.parse_syntax
+let parse_interleaving = Analysis.Analyze.parse_interleaving
+let policy_of_name = Analysis.Analyze.policy_of_name
+let scheduler_of_name = Analysis.Analyze.scheduler_of_name
 
 (* ---------- subcommand bodies ---------- *)
 
@@ -115,6 +92,19 @@ let verify k =
   Format.printf "Theorem 3 (syntax xy,yx, Z%d):@.%a@." k
     Optimality.Verify.pp_report r3
 
+let analyze spec sched_spec policy_name certify_name k json =
+  let syntax = parse_syntax spec in
+  let req =
+    Analysis.Analyze.request
+      ?schedule:(Option.map parse_interleaving sched_spec)
+      ?policy:policy_name ?certify:certify_name ~k syntax
+  in
+  let report = Analysis.Analyze.run req in
+  if json then print_endline (Analysis.Report.to_json report)
+  else Format.printf "%a@." Analysis.Report.pp report;
+  (* linter convention: error diagnostics fail the invocation *)
+  if Analysis.Report.errors report > 0 then exit 1
+
 let measure spec samples =
   let syntax = parse_syntax spec in
   let rows =
@@ -181,6 +171,44 @@ let schedule_run_cmd =
     (Cmd.info "schedule" ~doc:"drive an online scheduler over a stream")
     Term.(const schedule_cmd $ syntax_arg $ arrivals $ sched)
 
+let analyze_cmd =
+  let sched =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"DIGITS"
+          ~doc:"Schedule to run the anomaly detector on, e.g. 0101.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "policy" ]
+          ~doc:"Locking policy to lint: 2pl, 2pl', preclaim or mutex.")
+  in
+  let certify =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "certify" ]
+          ~doc:"Scheduler to certify against Theorem 1: serial, sgt, 2pl \
+                or to.")
+  in
+  let k =
+    Arg.(
+      value & opt int 2
+      & info [ "k" ] ~doc:"Micro-universe domain size for --certify.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"static anomaly detection, lock-policy linting, scheduler \
+             certification")
+    Term.(
+      const analyze $ syntax_arg $ sched $ policy $ certify $ k $ json)
+
 let verify_cmd =
   let k = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Domain size Z_k.") in
   Cmd.v
@@ -198,9 +226,13 @@ let measure_cmd =
 let () =
   let doc = "concurrency-control optimality toolbox (Kung-Papadimitriou 1979)" in
   exit
-    (Cmd.eval
-       (Cmd.group (Cmd.info "ccopt" ~doc)
-          [
-            classify_cmd; herbrand_cmd; geometry_cmd; schedule_run_cmd;
-            verify_cmd; measure_cmd;
-          ]))
+    (try
+       Cmd.eval ~catch:false
+         (Cmd.group (Cmd.info "ccopt" ~doc)
+            [
+              classify_cmd; herbrand_cmd; geometry_cmd; analyze_cmd;
+              schedule_run_cmd; verify_cmd; measure_cmd;
+            ])
+     with Invalid_argument msg ->
+       Printf.eprintf "ccopt: %s\n" msg;
+       2)

@@ -1,0 +1,91 @@
+open Core
+
+type request = {
+  syntax : Syntax.t;
+  schedule : int array option;
+  policy : string option;
+  certify : string option;
+  k : int;
+}
+
+let request ?schedule ?policy ?certify ?(k = 2) syntax =
+  { syntax; schedule; policy; certify; k }
+
+let parse_syntax spec =
+  let groups = String.split_on_char ',' spec in
+  Syntax.of_lists
+    (List.map
+       (fun g ->
+         if g = "" then invalid_arg "empty transaction in --syntax";
+         List.init (String.length g) (fun i -> String.make 1 g.[i]))
+       groups)
+
+let parse_interleaving spec =
+  Array.init (String.length spec) (fun i ->
+      let c = spec.[i] in
+      if c < '0' || c > '9' then invalid_arg "--schedule expects digits";
+      Char.code c - Char.code '0')
+
+let policy_of_name = function
+  | "2pl" -> Locking.Two_phase.policy
+  | "2pl'" | "2plprime" -> Locking.Two_phase_prime.policy ~distinguished:"x"
+  | "preclaim" -> Locking.Preclaim.policy
+  | "mutex" -> Locking.Mutex_policy.policy
+  | name ->
+    invalid_arg ("unknown policy " ^ name ^ " (2pl, 2pl', preclaim, mutex)")
+
+let scheduler_of_name syntax = function
+  | "serial" -> fun () -> Sched.Serial_sched.create ~fmt:(Syntax.format syntax)
+  | "sgt" -> fun () -> Sched.Sgt.create ~syntax
+  | "2pl" -> fun () -> Sched.Tpl_sched.create_2pl ~syntax
+  | "to" -> fun () -> Sched.Timestamp.create ~syntax
+  | name ->
+    invalid_arg ("unknown scheduler " ^ name ^ " (serial, sgt, 2pl, to)")
+
+let certifier_level = function
+  | "serial" -> Certifier.Format_only
+  | _ -> Certifier.Syntactic
+
+let syntax_string syntax =
+  let n = Syntax.n_transactions syntax in
+  let rows =
+    List.init n (fun i ->
+        List.init (Syntax.length syntax i) (fun j ->
+            Syntax.var syntax (Names.step i j)))
+  in
+  let flat = List.concat rows in
+  let sep =
+    if List.for_all (fun v -> String.length v = 1) flat then "" else " "
+  in
+  String.concat "," (List.map (String.concat sep) rows)
+
+let run req =
+  let diags = ref [] in
+  let add ds = diags := !diags @ ds in
+  (match req.schedule with
+  | Some il ->
+    let h = Schedule.of_interleaving il in
+    add (Anomaly.check req.syntax h)
+  | None -> ());
+  (match req.policy with
+  | Some name ->
+    let policy = policy_of_name name in
+    add (Lock_lint.lint (Lock_lint.of_policy policy req.syntax))
+  | None -> ());
+  (match req.certify with
+  | Some name ->
+    add
+      (Certifier.certify ~k:req.k ~name
+         ~make:(scheduler_of_name req.syntax name)
+         ~level:(certifier_level name) req.syntax)
+  | None -> ());
+  if !diags = [] then
+    add
+      [
+        Report.diagnostic ~rule:"analyze/nothing-to-do"
+          ~severity:Report.Info
+          "no pass selected: give --schedule for the anomaly detector, \
+           --policy for the lock linter, --certify for the scheduler \
+           certifier";
+      ];
+  Report.make ~target:("system " ^ syntax_string req.syntax) !diags

@@ -19,4 +19,5 @@ let () =
       ("misc", Test_misc.suite);
       ("rw-lock", Test_rw_lock.suite);
       ("recovery", Test_recovery.suite);
+      ("analysis", Test_analysis.suite);
     ]
