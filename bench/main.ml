@@ -27,6 +27,7 @@ let experiments =
     ("X3", Exp_rw.x3);
     ("P4", Exp_cost.run);
     ("S1", Exp_analysis.run);
+    ("B1", Exp_sched_bench.run);
   ]
 
 let () =

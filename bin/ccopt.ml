@@ -8,6 +8,7 @@
      ccopt schedule  --syntax "xy,yx" --arrivals 0101 --scheduler sgt
      ccopt verify    [--k 2]                    theorem micro-universes
      ccopt measure   --syntax "xy,yx" --samples 500
+     ccopt bench     [--json] [--out BENCH_sched.json]  scheduler req/s
 *)
 
 open Core
@@ -113,6 +114,50 @@ let measure spec samples =
       ~fmt:(Syntax.format syntax) ~samples ~seed:1
   in
   Format.printf "%a" Sim.Measure.pp_rows rows
+
+let parse_sizes spec =
+  List.map
+    (fun cell ->
+      match String.split_on_char 'x' cell with
+      | [ n; m ] -> (
+        match (int_of_string_opt n, int_of_string_opt m) with
+        | Some n, Some m when n > 0 && m > 0 -> (n, m)
+        | _ -> invalid_arg ("bad size " ^ cell ^ " in --sizes"))
+      | _ -> invalid_arg ("bad size " ^ cell ^ " in --sizes (want NxM)"))
+    (String.split_on_char ',' spec)
+
+let bench sizes mixes n_vars streams min_time seed smoke json out =
+  let spec =
+    if smoke then Sim.Sched_bench.smoke
+    else
+      {
+        Sim.Sched_bench.sizes = parse_sizes sizes;
+        mixes = String.split_on_char ',' mixes;
+        n_vars;
+        streams;
+        min_time;
+        seed;
+      }
+  in
+  let rows = Sim.Sched_bench.run spec in
+  let body =
+    if json then begin
+      let s = Sim.Sched_bench.to_json spec rows in
+      if not (Sim.Sched_bench.json_well_formed s) then begin
+        prerr_endline "ccopt: internal error: bench emitted malformed JSON";
+        exit 1
+      end;
+      s
+    end
+    else Format.asprintf "%a" Sim.Sched_bench.pp_rows rows
+  in
+  match out with
+  | None -> print_string body
+  | Some file ->
+    let oc = open_out file in
+    output_string oc body;
+    close_out oc;
+    Printf.printf "wrote %s\n" file
 
 (* ---------- cmdliner wiring ---------- *)
 
@@ -223,6 +268,64 @@ let measure_cmd =
     (Cmd.info "measure" ~doc:"scheduler delay comparison")
     Term.(const measure $ syntax_arg $ samples)
 
+let bench_cmd =
+  let d = Sim.Sched_bench.default in
+  let sizes =
+    let default =
+      String.concat ","
+        (List.map (fun (n, m) -> Printf.sprintf "%dx%d" n m) d.Sim.Sched_bench.sizes)
+    in
+    Arg.(
+      value & opt string default
+      & info [ "sizes" ] ~docv:"NxM,.."
+          ~doc:"Workload sizes: transactions x steps, comma-separated.")
+  in
+  let mixes =
+    Arg.(
+      value
+      & opt string (String.concat "," d.Sim.Sched_bench.mixes)
+      & info [ "mixes" ] ~doc:"Variable mixes: uniform, hot and/or skewed.")
+  in
+  let n_vars =
+    Arg.(
+      value & opt int d.Sim.Sched_bench.n_vars
+      & info [ "vars" ] ~doc:"Size of the variable pool.")
+  in
+  let streams =
+    Arg.(
+      value & opt int d.Sim.Sched_bench.streams
+      & info [ "streams" ] ~doc:"Arrival streams per cell.")
+  in
+  let min_time =
+    Arg.(
+      value & opt float d.Sim.Sched_bench.min_time
+      & info [ "min-time" ] ~doc:"Per-cell time budget in seconds.")
+  in
+  let seed =
+    Arg.(value & opt int d.Sim.Sched_bench.seed & info [ "seed" ] ~doc:"RNG seed.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Tiny single-pass configuration (overrides the other knobs).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit BENCH_sched.json schema.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the report to a file.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"scheduler micro-benchmark (requests/sec, incl. SGT vs SGT-ref)")
+    Term.(
+      const bench $ sizes $ mixes $ n_vars $ streams $ min_time $ seed $ smoke
+      $ json $ out)
+
 let () =
   let doc = "concurrency-control optimality toolbox (Kung-Papadimitriou 1979)" in
   exit
@@ -231,8 +334,12 @@ let () =
          (Cmd.group (Cmd.info "ccopt" ~doc)
             [
               classify_cmd; herbrand_cmd; geometry_cmd; analyze_cmd;
-              schedule_run_cmd; verify_cmd; measure_cmd;
+              schedule_run_cmd; verify_cmd; measure_cmd; bench_cmd;
             ])
-     with Invalid_argument msg ->
+     with
+     | Invalid_argument msg ->
        Printf.eprintf "ccopt: %s\n" msg;
-       2)
+       2
+     | Sched.Driver.Stall msg ->
+       Printf.eprintf "ccopt: %s\n" msg;
+       1)

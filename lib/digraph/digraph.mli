@@ -64,3 +64,78 @@ val undirected_components : t -> int array
 (** Connected components ignoring edge direction; labels as in {!scc}. *)
 
 val pp : Format.formatter -> t -> unit
+
+type graph = t
+(** Alias so {!Acyclic} can refer to the plain graph type. *)
+
+(** Online (incremental) acyclicity via the Pearce–Kelly dynamic
+    topological order. The structure maintains the invariant that the
+    graph is acyclic: {!Acyclic.add_edge_acyclic} refuses — with a cycle
+    witness — any edge that would break it, in time proportional to the
+    {e affected region} of the topological order rather than the whole
+    graph. Edge and vertex removals are O(degree) and never trigger a
+    reordering (deleting edges cannot invalidate a topological order).
+
+    This is the substrate for the serialization-graph scheduler's hot
+    path: one admission test per request, no graph copies, no full
+    cycle-detection reruns. *)
+module Acyclic : sig
+  type t
+
+  val create : int -> t
+  (** [create n] is the empty acyclic graph on vertices [0 .. n-1], with
+      the identity topological order. *)
+
+  val n_vertices : t -> int
+  val n_edges : t -> int
+  val has_edge : t -> int -> int -> bool
+
+  val succ : t -> int -> int list
+  (** Successors in increasing vertex order. *)
+
+  val pred : t -> int -> int list
+  (** Predecessors in increasing vertex order (stored, O(degree)). *)
+
+  val in_degree : t -> int -> int
+  (** Number of predecessors, without materialising them. *)
+
+  val edges : t -> (int * int) list
+  (** All edges, lexicographically ordered. *)
+
+  val add_edge_acyclic : t -> int -> int -> (unit, int list) result
+  (** [add_edge_acyclic g u v] adds edge [u → v] if the graph stays
+      acyclic and returns [Ok ()] (idempotent on existing edges).
+      Otherwise the graph is unchanged and [Error path] returns a cycle
+      witness: vertices [v; ...; u] forming a path [v → ... → u] that the
+      refused edge [u → v] would close. A self-loop yields [Error [u]]. *)
+
+  val closes_cycle : t -> int -> int -> bool
+  (** [closes_cycle g u v] is [true] iff adding [u → v] would create a
+      cycle. Pure query: the graph is never modified. *)
+
+  val closes_cycle_any :
+    ?excluding:int -> t -> sources:int list -> target:int -> bool
+  (** [closes_cycle_any g ~sources ~target]: would adding {e all} edges
+      [u → target], [u ∈ sources], create a cycle? Since every new edge
+      ends at [target], this holds iff some source is reachable from
+      [target] (or is [target] itself); the search is bounded by the
+      topological-order window, one pass for the whole edge batch.
+      [?excluding] drops one vertex from [sources] without the caller
+      having to build a filtered list (the SGT scheduler passes a
+      variable's accessor list, which may include the requester). Pure
+      query: the graph is never modified, and nothing is allocated. *)
+
+  val remove_edge : t -> int -> int -> unit
+
+  val remove_vertex : t -> int -> unit
+  (** Remove every edge incident to the vertex (the vertex itself stays,
+      isolated — vertex sets are fixed at creation). *)
+
+  val topological_order : t -> int array
+  (** The maintained topological order, as an array of vertices. Fresh
+      copy; every edge [u → v] has [u] before [v] in it. *)
+
+  val to_digraph : t -> graph
+  (** Snapshot into a plain {!type:graph} (for algorithms the incremental
+      structure does not provide). *)
+end

@@ -11,14 +11,23 @@ type stats = {
 
 let zero_delay s = s.delays = 0 && s.restarts = 0
 
+exception Stall of string
+
 type state = {
   sched : Scheduler.t;
   fmt : int array;
   next_step : int array;       (* next step index, current incarnation *)
   outstanding : int array;     (* submitted but ungranted requests *)
-  submit_times : int Queue.t array;
+  (* submission clocks, a FIFO ring per transaction: a transaction never
+     has more than [fmt.(i)] requests in flight, so capacity is fixed
+     and pushes/pops allocate nothing *)
+  submit_times : int array array;
+  submit_head : int array;
+  submit_len : int array;
   incarnation : int array;
-  mutable blocked : int list;  (* FIFO of delayed transactions *)
+  arrival_rank : int array;    (* fixed seniority: first-submission order *)
+  mutable arrived : int;
+  blocked : Intq.t;            (* FIFO of delayed transactions *)
   mutable clock : int;         (* driver events *)
   mutable log : (Names.step_id * int) list;  (* grant, incarnation (rev) *)
   mutable delays : int;
@@ -35,9 +44,13 @@ let init sched fmt =
     fmt;
     next_step = Array.make n 0;
     outstanding = Array.make n 0;
-    submit_times = Array.init n (fun _ -> Queue.create ());
+    submit_times = Array.init n (fun i -> Array.make (max 1 fmt.(i)) 0);
+    submit_head = Array.make n 0;
+    submit_len = Array.make n 0;
     incarnation = Array.make n 0;
-    blocked = [];
+    arrival_rank = Array.make n (-1);
+    arrived = 0;
+    blocked = Intq.create n;
     clock = 0;
     log = [];
     delays = 0;
@@ -47,9 +60,24 @@ let init sched fmt =
     grants = 0;
   }
 
-let in_queue st i = List.mem i st.blocked
-let enqueue st i = if not (in_queue st i) then st.blocked <- st.blocked @ [ i ]
-let dequeue st i = st.blocked <- List.filter (fun j -> j <> i) st.blocked
+let submit_push st i t =
+  let buf = st.submit_times.(i) in
+  let cap = Array.length buf in
+  assert (st.submit_len.(i) < cap);
+  buf.((st.submit_head.(i) + st.submit_len.(i)) mod cap) <- t;
+  st.submit_len.(i) <- st.submit_len.(i) + 1
+
+let submit_pop st i =
+  assert (st.submit_len.(i) > 0);
+  let buf = st.submit_times.(i) in
+  let t = buf.(st.submit_head.(i)) in
+  st.submit_head.(i) <- (st.submit_head.(i) + 1) mod Array.length buf;
+  st.submit_len.(i) <- st.submit_len.(i) - 1;
+  t
+
+let in_queue st i = Intq.mem st.blocked i
+let enqueue st i = Intq.push st.blocked i
+let dequeue st i = Intq.remove st.blocked i
 
 let completed st i =
   st.next_step.(i) >= st.fmt.(i) && st.outstanding.(i) = 0
@@ -62,7 +90,7 @@ let do_abort st i =
   st.next_step.(i) <- 0;
   st.outstanding.(i) <- st.outstanding.(i) + granted;
   for _ = 1 to granted do
-    Queue.add st.clock st.submit_times.(i)
+    submit_push st i st.clock
   done;
   st.incarnation.(i) <- st.incarnation.(i) + 1
 
@@ -70,7 +98,7 @@ let do_grant st (id : Names.step_id) =
   st.sched.Scheduler.commit id;
   st.clock <- st.clock + 1;
   st.grants <- st.grants + 1;
-  let submitted = Queue.pop st.submit_times.(id.Names.tx) in
+  let submitted = submit_pop st id.Names.tx in
   st.waiting <- st.waiting + (st.clock - 1 - submitted);
   st.next_step.(id.Names.tx) <- id.Names.idx + 1;
   st.outstanding.(id.Names.tx) <- st.outstanding.(id.Names.tx) - 1;
@@ -103,19 +131,35 @@ let try_drain st i =
   !made_progress
 
 (* Repeatedly scan the FIFO queue, restarting from the head after every
-   grant, until a full pass yields nothing. *)
+   grant, until a full pass yields nothing. The cursor walk is safe
+   without a snapshot: a no-progress [try_drain] (Delay of an
+   already-queued transaction) leaves the queue untouched, and on any
+   mutation we restart from the head anyway. *)
 let process_queue st =
   let continue = ref true in
   while !continue do
-    let rec scan = function
-      | [] -> false
-      | i :: rest -> if try_drain st i then true else scan rest
+    let rec scan i =
+      if i < 0 then false
+      else begin
+        let nxt = Intq.next st.blocked i in
+        if try_drain st i then true else scan nxt
+      end
     in
-    continue := scan st.blocked
+    continue := scan (Intq.head st.blocked)
   done
 
+(* Victim priority is wound-wait style: seniority is fixed at a
+   transaction's first arrival and survives restarts, and the stuck list
+   is presented youngest-first.  A scheduler that honours the order (the
+   default [victim] takes the head; [Tpl_sched] picks the youngest member
+   of the wait-for cycle) never aborts the oldest live transaction, so
+   the oldest always completes and the drain loop terminates instead of
+   rotating abort victims round-robin forever. *)
 let resolve_stall st =
-  let stuck = List.filter (fun i -> st.outstanding.(i) > 0) st.blocked in
+  let stuck =
+    List.filter (fun i -> st.outstanding.(i) > 0) (Intq.to_list st.blocked)
+    |> List.sort (fun a b -> compare st.arrival_rank.(b) st.arrival_rank.(a))
+  in
   match st.sched.Scheduler.victim stuck with
   | Some v ->
     st.deadlocks <- st.deadlocks + 1;
@@ -124,9 +168,10 @@ let resolve_stall st =
     dequeue st v;
     enqueue st v
   | None ->
-    failwith
-      (Printf.sprintf "Driver.run: %s cannot resolve a stall"
-         st.sched.Scheduler.name)
+    raise
+      (Stall
+         (Printf.sprintf "driver: scheduler %s cannot resolve a stall"
+            st.sched.Scheduler.name))
 
 let run sched ~fmt ~arrivals =
   let st = init sched fmt in
@@ -134,19 +179,29 @@ let run sched ~fmt ~arrivals =
   Array.iter
     (fun i ->
       st.clock <- st.clock + 1;
+      if st.arrival_rank.(i) < 0 then begin
+        st.arrival_rank.(i) <- st.arrived;
+        st.arrived <- st.arrived + 1
+      end;
       st.outstanding.(i) <- st.outstanding.(i) + 1;
-      Queue.add st.clock st.submit_times.(i);
+      submit_push st i st.clock;
       if in_queue st i then ()
       else if try_drain st i then process_queue st)
     arrivals;
   (* drain the tail; bound the work to defend against livelock *)
   let budget = ref (100 * (total_arrivals + 1) * (Array.length fmt + 1)) in
+  let n = Array.length fmt in
   let all_done () =
-    Array.for_all (fun i -> completed st i) (Array.init (Array.length fmt) Fun.id)
+    let rec go i = i >= n || (completed st i && go (i + 1)) in
+    go 0
   in
   while not (all_done ()) do
     decr budget;
-    if !budget < 0 then failwith "Driver.run: livelock";
+    if !budget < 0 then
+      raise
+        (Stall
+           (Printf.sprintf "driver: scheduler %s livelocked (budget exhausted)"
+              st.sched.Scheduler.name));
     let before = st.grants in
     process_queue st;
     if st.grants = before && not (all_done ()) then resolve_stall st

@@ -8,6 +8,11 @@ open Core
     When the stream is exhausted, remaining requests are retried until
     everything completes; a stall (no grantable request) is resolved by
     aborting the scheduler's chosen victim, counting a {e deadlock}.
+    The stuck list handed to the scheduler's [victim] is ordered
+    youngest-first by each transaction's {e first} arrival (seniority is
+    wound-wait style: fixed once, kept across restarts), so a scheduler
+    that prefers victims early in the list never aborts the oldest live
+    transaction and the drain loop provably terminates.
 
     An aborted transaction restarts from its first step; its outstanding
     requests are replayed. The final [output] is the committed schedule
@@ -30,8 +35,15 @@ val zero_delay : stats -> bool
 (** No request was ever delayed or aborted — the input history was in
     the scheduler's fixpoint set. *)
 
+exception Stall of string
+(** The driver could not make progress: the scheduler declined to name a
+    stall victim, or the livelock budget ran out. Typed so callers (the
+    CLI in particular) can render a clean diagnostic instead of a
+    backtrace. *)
+
 val run : Scheduler.t -> fmt:int array -> arrivals:int array -> stats
-(** Raises [Failure] if the scheduler cannot resolve a stall. *)
+(** Raises {!Stall} if the scheduler cannot resolve a stall or the run
+    livelocks. *)
 
 val fixpoint_of : (unit -> Scheduler.t) -> int array -> Schedule.t list
 (** The empirical fixpoint set: every schedule of the format passed with

@@ -30,12 +30,15 @@ type t = {
           the driver then fails). *)
   detect : (int * Names.step_id) list -> int option;
       (** Eager deadlock detection: given every blocked transaction with
-          its pending step, return a transaction that can provably never
-          be granted without an abort (a wait-for cycle member for
-          locking; any delayed requester for SGT, whose conflict edges
-          only accumulate), or [None] when the blockage may clear by
-          itself. Used by the timed simulation to avoid deferring
-          victim selection to the end of the run. *)
+          its pending step (youngest first), return a victim only when an
+          abort is {e required} for progress — the blocked transactions
+          mutually prevent each other from ever proceeding, as in a
+          wait-for cycle under locking. Blockage that other transactions
+          can still drain around (e.g. an SGT delay, which dooms the
+          requester but impedes nobody else) must report [None]: the
+          stall path aborts lazily, after everything able to finish has
+          finished, which is strictly cheaper in restarts. Used by the
+          timed simulation after every delay. *)
 }
 
 val make :

@@ -3,45 +3,70 @@ open Core
 let create ~syntax =
   let fmt = Syntax.format syntax in
   let n = Syntax.n_transactions syntax in
-  (* per-variable access history (transaction ids, oldest first) *)
-  let history : (Names.var, int list) Hashtbl.t = Hashtbl.create 16 in
-  let graph = ref (Digraph.create n) in
+  (* Intern variable names once: the hot path is integer-only, no string
+     hashing per request. [var_of_step.(i).(j)] is the index of the
+     variable transaction [i]'s step [j] accesses. *)
+  let var_ids : (Names.var, int) Hashtbl.t = Hashtbl.create 16 in
+  let nvars = ref 0 in
+  let var_of_step =
+    Array.init n (fun i ->
+        Array.init fmt.(i) (fun j ->
+            let v = Syntax.var syntax (Names.step i j) in
+            match Hashtbl.find_opt var_ids v with
+            | Some k -> k
+            | None ->
+              let k = !nvars in
+              Hashtbl.add var_ids v k;
+              incr nvars;
+              k))
+  in
+  (* per-variable accessor lists. Deduplicated: a transaction touching
+     the same variable k times contributes one entry, not k — duplicate
+     entries would only ever duplicate edges already in the graph. *)
+  let history = Array.make !nvars [] in
+  (* [active.(i)]: transaction i has at least one history entry — the
+     O(1) stand-in for scanning every accessor list during [prune] *)
+  let active = Array.make n false in
+  let graph = Digraph.Acyclic.create n in
   let completed = Array.make n false in
-  let accessors v = try Hashtbl.find history v with Not_found -> [] in
-  let edges_for (id : Names.step_id) =
-    accessors (Syntax.var syntax id)
-    |> List.filter_map (fun tx ->
-           if tx <> id.Names.tx then Some (tx, id.Names.tx) else None)
-  in
-  let attempt id =
-    let g = Digraph.copy !graph in
-    List.iter (fun (u, v) -> Digraph.add_edge g u v) (edges_for id);
-    if Digraph.has_cycle g then Scheduler.Delay else Scheduler.Grant
-  in
-  let rebuild () =
-    let g = Digraph.create n in
-    Hashtbl.iter
-      (fun _ txs ->
-        let rec pairs = function
-          | [] -> ()
-          | tx :: rest ->
-            List.iter
-              (fun tx' -> if tx' <> tx then Digraph.add_edge g tx tx')
-              rest;
-            pairs rest
-        in
-        pairs txs)
-      history;
-    graph := g
+  (* Delay answers are monotone: between removals (abort or prune), the
+     graph and the accessor lists only grow, and growing either can
+     never turn a cycle-closing request into a grantable one. So a
+     Delay verdict for (tx, idx) stays valid until the next removal,
+     and the driver's retry-after-every-grant loop can be answered from
+     a version stamp instead of repeating the search. *)
+  let version = ref 0 in
+  let blocked_at = Array.make n (-1) in
+  let blocked_idx = Array.make n (-1) in
+  (* The hot path: granting [id] adds edges u -> id.tx for every prior
+     accessor u of the variable. All candidate edges end at the same
+     vertex, so the batch closes a cycle iff some u is reachable from
+     id.tx — one bounded search on the incrementally maintained order,
+     no copy, no full cycle detection, no allocation. *)
+  let attempt (id : Names.step_id) =
+    let tx = id.Names.tx in
+    let idx = id.Names.idx in
+    if blocked_idx.(tx) = idx && blocked_at.(tx) = !version then
+      Scheduler.Delay
+    else if
+      Digraph.Acyclic.closes_cycle_any ~excluding:tx graph
+        ~sources:history.(var_of_step.(tx).(idx))
+        ~target:tx
+    then begin
+      blocked_idx.(tx) <- idx;
+      blocked_at.(tx) <- !version;
+      Scheduler.Delay
+    end
+    else Scheduler.Grant
   in
   let forget i =
-    Hashtbl.filter_map_inplace
-      (fun _ txs ->
-        match List.filter (fun tx -> tx <> i) txs with
-        | [] -> None
-        | txs -> Some txs)
-      history;
-    rebuild ()
+    incr version;
+    for v = 0 to Array.length history - 1 do
+      if List.memq i history.(v) then
+        history.(v) <- List.filter (fun u -> u <> i) history.(v)
+    done;
+    active.(i) <- false;
+    Digraph.Acyclic.remove_vertex graph i
   in
   (* A completed transaction never receives another incoming edge, so
      once it is a source of the conflict graph it can never lie on a
@@ -51,11 +76,8 @@ let create ~syntax =
     let victim = ref None in
     for i = 0 to n - 1 do
       if
-        !victim = None && completed.(i)
-        && Digraph.pred !graph i = []
-        && Hashtbl.fold
-             (fun _ txs any -> any || List.mem i txs)
-             history false
+        !victim = None && completed.(i) && active.(i)
+        && Digraph.Acyclic.in_degree graph i = 0
       then victim := Some i
     done;
     match !victim with
@@ -64,12 +86,26 @@ let create ~syntax =
       prune ()
     | None -> ()
   in
+  let rec add_edges tx = function
+    | [] -> ()
+    | u :: us ->
+      if u <> tx then begin
+        match Digraph.Acyclic.add_edge_acyclic graph u tx with
+        | Ok () -> ()
+        | Error _ ->
+          (* [attempt] vetted the whole batch; an edge cannot fail here *)
+          assert false
+      end;
+      add_edges tx us
+  in
   let commit (id : Names.step_id) =
-    List.iter (fun (u, v) -> Digraph.add_edge !graph u v) (edges_for id);
-    let v = Syntax.var syntax id in
-    Hashtbl.replace history v (accessors v @ [ id.Names.tx ]);
-    if id.Names.idx = fmt.(id.Names.tx) - 1 then begin
-      completed.(id.Names.tx) <- true;
+    let tx = id.Names.tx in
+    let v = var_of_step.(tx).(id.Names.idx) in
+    add_edges tx history.(v);
+    if not (List.memq tx history.(v)) then history.(v) <- tx :: history.(v);
+    active.(tx) <- true;
+    if id.Names.idx = fmt.(tx) - 1 then begin
+      completed.(tx) <- true;
       prune ()
     end
   in
@@ -77,15 +113,12 @@ let create ~syntax =
     completed.(i) <- false;
     forget i
   in
-  (* conflict edges only accumulate while the participants are active,
-     so a delayed request can never be granted until someone aborts:
-     any still-blocked requester is a certain victim *)
-  let detect blocked =
-    List.find_map
-      (fun (tx, id) ->
-        match attempt id with
-        | Scheduler.Delay -> Some tx
-        | Scheduler.Grant | Scheduler.Abort -> None)
-      blocked
-  in
-  Scheduler.make ~name:"SGT" ~attempt ~commit ~on_abort ~detect ()
+  (* No eager [detect]: under SGT a delayed request can never be granted
+     until someone aborts (edges and accessor lists only grow), but it
+     also blocks nobody — every other transaction keeps executing — so an
+     abort is never *required* until the whole system stalls, and the
+     stall path already resolves that lazily, wound-wait style. Eagerly
+     aborting each freshly-doomed requester replays it straight back into
+     the same conflicts and thrashes restarts a thousandfold on contended
+     workloads, where the lazy policy pays a handful. *)
+  Scheduler.make ~name:"SGT" ~attempt ~commit ~on_abort ()

@@ -9,6 +9,14 @@ open Core
     paper's step model, the fixpoint set of this scheduler is exactly
     [SR(T)]. A request that would close a cycle can never succeed later
     (edges only accumulate), so stalls are resolved by aborting the
-    requester, whose edges are then removed. *)
+    requester, whose edges are then removed.
+
+    The conflict graph is maintained {e incrementally} on
+    {!Digraph.Acyclic} (Pearce–Kelly dynamic topological order): the
+    admission test is a single reachability query bounded by the
+    affected window of the order, commits extend the graph in place, and
+    pruning/aborts remove a vertex without a rebuild. {!Sgt_ref} keeps
+    the original copy-and-recheck implementation as the differential
+    oracle. *)
 
 val create : syntax:Syntax.t -> Scheduler.t

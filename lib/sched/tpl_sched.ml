@@ -2,7 +2,8 @@ open Core
 
 let cycle_victim ~holders ~wanted blocked =
   (* build the wait-for relation among blocked transactions and pick a
-     member of a cycle if any *)
+     member of a cycle if any; prefer the member earliest in [blocked],
+     which the driver orders youngest-first (wound-wait seniority) *)
   match blocked with
   | [] -> None
   | _ ->
@@ -22,7 +23,8 @@ let cycle_victim ~holders ~wanted blocked =
           | Some _ | None -> ()))
       idx;
     (match Digraph.find_cycle g with
-    | Some (k :: _) -> Some (List.nth blocked k)
+    | Some (_ :: _ as cyc) ->
+      Some (List.nth blocked (List.fold_left min max_int cyc))
     | Some [] | None -> None)
 
 let wait_for_victim ~holders ~wanted blocked =

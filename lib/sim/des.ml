@@ -84,11 +84,22 @@ let run params ~syntax ~scheduler =
       parked;
     Queue.clear parked
   in
+  (* Victim-candidate lists follow the driver's convention: youngest
+     first (latest arrival first), so a scheduler that prefers early
+     candidates never victimizes the most senior live transaction.
+     Presenting the parked queue oldest-first instead makes the eager
+     detector abort the longest-waiting transaction over and over —
+     wound-wait inverted, thrashing restarts into the thousands on
+     contended workloads. *)
+  let by_seniority txs =
+    List.stable_sort
+      (fun a b -> Float.compare stats.(b).arrival stats.(a).arrival)
+      txs
+  in
   let blocked_list () =
-    Queue.fold
-      (fun acc (tx, _) -> (tx, Names.step tx next_step.(tx)) :: acc)
-      [] parked
-    |> List.rev
+    Queue.fold (fun acc (tx, _) -> tx :: acc) [] parked
+    |> List.rev |> by_seniority
+    |> List.map (fun tx -> (tx, Names.step tx next_step.(tx)))
   in
   (* abort [v] at time [now]: release its bookkeeping, credit waiting to
      everything parked, resubmit the victim with backoff and give the
@@ -107,7 +118,16 @@ let run params ~syntax ~scheduler =
       parked;
     Queue.clear parked;
     Queue.transfer keep queue;
-    let backoff = params.exec_time *. float_of_int tx_restarts.(v) in
+    (* back off by whole scheduling round-trips, not just execution
+       time: with sched_time dominating, an exec-scaled backoff lets the
+       victim re-enter the queue before any waiter has even been served
+       once, and two restarted juniors can starve a senior by
+       alternately re-acquiring the contested lock — thousands of
+       rotation aborts before a linear exec-time backoff grows past one
+       service time *)
+    let backoff =
+      (params.sched_time +. params.exec_time) *. float_of_int tx_restarts.(v)
+    in
     add_event (now +. backoff) (`Resubmit v)
   in
   let serve () =
@@ -139,9 +159,11 @@ let run params ~syntax ~scheduler =
       sched.Sched.Scheduler.on_abort tx;
       next_step.(tx) <- 0;
       (* restart with backoff: without it, two timestamp-ordered
-         transactions on a hot spot abort each other forever *)
+         transactions on a hot spot abort each other forever; scaled by
+         the full service round-trip as in [abort_victim] *)
       let backoff =
-        params.exec_time *. float_of_int tx_restarts.(tx)
+        (params.sched_time +. params.exec_time)
+        *. float_of_int tx_restarts.(tx)
       in
       add_event (decided +. backoff) (`Resubmit tx);
       unpark decided
@@ -156,10 +178,15 @@ let run params ~syntax ~scheduler =
       else begin
         (* stall: every open request is parked *)
         let blocked =
-          Queue.fold (fun acc (tx, _) -> tx :: acc) [] parked |> List.rev
+          Queue.fold (fun acc (tx, _) -> tx :: acc) [] parked
+          |> List.rev |> by_seniority
         in
         match sched.Sched.Scheduler.victim blocked with
-        | None -> failwith "Des.run: unresolvable stall"
+        | None ->
+          raise
+            (Sched.Driver.Stall
+               ("des: scheduler " ^ sched.Sched.Scheduler.name
+              ^ " cannot resolve a stall"))
         | Some v ->
           abort_victim !sched_free v;
           loop ()
@@ -199,7 +226,8 @@ let run params ~syntax ~scheduler =
       loop ()
   in
   loop ();
-  if !done_count <> n then failwith "Des.run: incomplete simulation";
+  if !done_count <> n then
+    raise (Sched.Driver.Stall "des: incomplete simulation");
   let sum f = Array.fold_left (fun acc s -> acc +. f s) 0. stats in
   let fn = float_of_int n in
   let total_latency = sum (fun s -> s.completion -. s.arrival) in

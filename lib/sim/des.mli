@@ -42,6 +42,8 @@ val run :
   result
 (** Simulates every transaction of the syntax exactly once (arrivals in
     transaction order at Poisson instants). The decomposition satisfies
-    [latency ≈ scheduling + waiting + execution] per transaction. *)
+    [latency ≈ scheduling + waiting + execution] per transaction.
+    Raises {!Sched.Driver.Stall} if the scheduler cannot resolve a
+    stall. *)
 
 val pp_result : Format.formatter -> result -> unit

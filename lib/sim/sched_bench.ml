@@ -1,0 +1,359 @@
+open Core
+
+type spec = {
+  sizes : (int * int) list;
+  mixes : string list;
+  n_vars : int;
+  streams : int;
+  min_time : float;
+  seed : int;
+}
+
+type row = {
+  scheduler : string;
+  mix : string;
+  n : int;
+  m : int;
+  requests : int;
+  seconds : float;
+  req_per_sec : float;
+}
+
+let default =
+  {
+    sizes = [ (4, 4); (8, 8); (16, 8) ];
+    mixes = [ "uniform"; "hot"; "skewed" ];
+    n_vars = 8;
+    streams = 20;
+    min_time = 0.2;
+    seed = 42;
+  }
+
+let smoke =
+  {
+    sizes = [ (2, 2); (3, 2) ];
+    mixes = [ "uniform"; "hot" ];
+    n_vars = 3;
+    streams = 2;
+    min_time = 0.;
+    seed = 42;
+  }
+
+let syntax_of_mix st ~mix ~n ~m ~n_vars =
+  match mix with
+  | "uniform" -> Workload.uniform st ~n ~m ~n_vars
+  | "hot" -> Workload.hotspot st ~n ~m ~n_vars ~theta:0.8
+  | "skewed" -> Workload.zipf st ~n ~m ~n_vars ~s:1.2
+  | name ->
+    invalid_arg ("unknown workload mix " ^ name ^ " (uniform, hot, skewed)")
+
+let schedulers syntax =
+  [
+    ("serial", fun () -> Sched.Serial_sched.create ~fmt:(Syntax.format syntax));
+    ("2PL", fun () -> Sched.Tpl_sched.create_2pl ~syntax);
+    ("TO", fun () -> Sched.Timestamp.create ~syntax);
+    ("SGT", fun () -> Sched.Sgt.create ~syntax);
+    ("SGT-ref", fun () -> Sched.Sgt_ref.create ~syntax);
+  ]
+
+(* Requests served = scheduler decisions that consumed a submitted
+   request: grants (re-executions included) plus delays plus
+   outright aborts. Decision-equivalent schedulers therefore serve the
+   same request count and differ only in elapsed time. *)
+let requests_of (s : Sched.Driver.stats) =
+  s.Sched.Driver.grants + s.Sched.Driver.delays + s.Sched.Driver.restarts
+
+(* Time every scheduler of a cell together, in interleaved rounds: each
+   round runs one whole pass of each scheduler over every stream, timed
+   individually at pass granularity (clock overhead stays out of the
+   measurement). Interleaving matters for the reported ratios — timing
+   each scheduler in its own contiguous block lets CPU frequency drift
+   between blocks masquerade as a speedup. One warm-up pass per
+   scheduler, then rounds until the cell's time budget
+   ([min_time] x number of schedulers, matching the sequential layout's
+   total) is spent. *)
+let time_cell_set ~min_time ~fmt ~arrivals mks =
+  let k = Array.length mks in
+  let requests = Array.make k 0 in
+  let seconds = Array.make k 0. in
+  Array.iter
+    (fun mk ->
+      Array.iter
+        (fun a -> ignore (Sched.Driver.run (mk ()) ~fmt ~arrivals:a))
+        arrivals)
+    mks;
+  let budget = min_time *. float_of_int k in
+  let total = ref 0. in
+  let rounds = ref 0 in
+  while !rounds = 0 || !total < budget do
+    for j = 0 to k - 1 do
+      let mk = mks.(j) in
+      let t0 = Unix.gettimeofday () in
+      Array.iter
+        (fun a ->
+          requests.(j) <-
+            requests.(j) + requests_of (Sched.Driver.run (mk ()) ~fmt ~arrivals:a))
+        arrivals;
+      let dt = Unix.gettimeofday () -. t0 in
+      seconds.(j) <- seconds.(j) +. dt;
+      total := !total +. dt
+    done;
+    incr rounds
+  done;
+  Array.init k (fun j -> (requests.(j), seconds.(j)))
+
+let run spec =
+  List.concat_map
+    (fun mix ->
+      List.concat_map
+        (fun (n, m) ->
+          (* fresh deterministic rng per cell: every scheduler sees the
+             identical syntax and arrival streams *)
+          let st = Random.State.make [| spec.seed; Hashtbl.hash mix; n; m |] in
+          let syntax = syntax_of_mix st ~mix ~n ~m ~n_vars:spec.n_vars in
+          let fmt = Syntax.format syntax in
+          let arrivals =
+            Array.init spec.streams (fun _ -> Combin.Interleave.random st fmt)
+          in
+          let named = schedulers syntax in
+          let cells =
+            time_cell_set ~min_time:spec.min_time ~fmt ~arrivals
+              (Array.of_list (List.map snd named))
+          in
+          List.mapi
+            (fun j (name, _) ->
+              let requests, seconds = cells.(j) in
+              {
+                scheduler = name;
+                mix;
+                n;
+                m;
+                requests;
+                seconds;
+                req_per_sec =
+                  (if seconds > 0. then float_of_int requests /. seconds
+                   else 0.);
+              })
+            named)
+        spec.sizes)
+    spec.mixes
+
+let find rows ~scheduler ~mix ~n ~m =
+  List.find_opt
+    (fun r -> r.scheduler = scheduler && r.mix = mix && r.n = n && r.m = m)
+    rows
+
+let speedups rows =
+  (* SGT vs the brute-force oracle, per cell *)
+  List.filter_map
+    (fun r ->
+      if r.scheduler <> "SGT" then None
+      else
+        match find rows ~scheduler:"SGT-ref" ~mix:r.mix ~n:r.n ~m:r.m with
+        | Some ref_row when ref_row.req_per_sec > 0. ->
+          Some (r.mix, r.n, r.m, r.req_per_sec /. ref_row.req_per_sec)
+        | Some _ | None -> None)
+    rows
+
+(* ---------- JSON ---------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json spec rows =
+  let b = Buffer.create 4096 in
+  let add = Buffer.add_string b in
+  add "{\n";
+  add "  \"benchmark\": \"sched\",\n";
+  add "  \"unit\": \"requests_per_second\",\n";
+  add
+    (Printf.sprintf
+       "  \"config\": { \"n_vars\": %d, \"streams\": %d, \"min_time\": %g, \
+        \"seed\": %d },\n"
+       spec.n_vars spec.streams spec.min_time spec.seed);
+  add "  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        (Printf.sprintf
+           "    { \"scheduler\": \"%s\", \"mix\": \"%s\", \"n\": %d, \"m\": \
+            %d, \"requests\": %d, \"seconds\": %.6f, \"req_per_sec\": %.1f }%s\n"
+           (json_escape r.scheduler) (json_escape r.mix) r.n r.m r.requests
+           r.seconds r.req_per_sec
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  add "  ],\n";
+  add "  \"sgt_speedup_vs_ref\": {\n";
+  let sp = speedups rows in
+  List.iteri
+    (fun i (mix, n, m, ratio) ->
+      add
+        (Printf.sprintf "    \"%s/%dx%d\": %.2f%s\n" (json_escape mix) n m
+           ratio
+           (if i = List.length sp - 1 then "" else ",")))
+    sp;
+  add "  }\n";
+  add "}\n";
+  Buffer.contents b
+
+(* Minimal recursive-descent well-formedness check over the JSON we
+   emit (objects, arrays, strings, numbers, true/false/null). Used by
+   the @check bench smoke so the harness cannot rot into emitting
+   garbage silently. *)
+let json_well_formed s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let fail = ref false in
+  let expect c =
+    if peek () = Some c then advance () else fail := true
+  in
+  let literal lit =
+    String.iter (fun c -> expect c) lit
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      if !fail then ()
+      else
+        match peek () with
+        | None -> fail := true
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+            advance ();
+            for _ = 1 to 4 do
+              match peek () with
+              | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+              | _ -> fail := true
+            done
+          | _ -> fail := true);
+          go ()
+        | Some _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let number () =
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let seen = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+          seen := true;
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if not !seen then fail := true
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ())
+  in
+  let rec value () =
+    if !fail then ()
+    else begin
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else begin
+          let rec members () =
+            skip_ws ();
+            string_lit ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ()
+            | Some '}' -> advance ()
+            | _ -> fail := true
+          in
+          members ()
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else begin
+          let rec items () =
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              items ()
+            | Some ']' -> advance ()
+            | _ -> fail := true
+          in
+          items ()
+        end
+      | Some '"' -> string_lit ()
+      | Some 't' -> literal "true"
+      | Some 'f' -> literal "false"
+      | Some 'n' -> literal "null"
+      | Some ('-' | '0' .. '9') -> number ()
+      | _ -> fail := true
+    end
+  in
+  value ();
+  skip_ws ();
+  (not !fail) && !pos = n
+
+(* ---------- text rendering ---------- *)
+
+let pp_rows ppf rows =
+  Format.fprintf ppf "%-8s %-8s %6s %12s %10s %14s@." "mix" "sched" "n x m"
+    "requests" "seconds" "req/s";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-8s %-8s %3dx%-3d %12d %10.4f %14.1f@." r.mix
+        r.scheduler r.n r.m r.requests r.seconds r.req_per_sec)
+    rows;
+  match speedups rows with
+  | [] -> ()
+  | sp ->
+    Format.fprintf ppf "@.SGT speedup vs SGT-ref:@.";
+    List.iter
+      (fun (mix, n, m, ratio) ->
+        Format.fprintf ppf "  %-8s %3dx%-3d %6.2fx@." mix n m ratio)
+      sp

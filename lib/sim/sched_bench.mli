@@ -1,0 +1,61 @@
+open Core
+
+(** Scheduler micro-benchmark harness: requests/sec per scheduler across
+    workload sizes and variable-access mixes.
+
+    Each cell fixes a deterministic syntax and a set of arrival streams
+    (identical for every scheduler), drives them through
+    {!Sched.Driver.run} in interleaved rounds — one timed pass of each
+    scheduler per round, so CPU frequency drift cannot masquerade as a
+    between-scheduler speedup — until the cell's time budget is spent,
+    and reports served requests per wall-clock second. The suite includes
+    both the incremental SGT and the brute-force {!Sched.Sgt_ref}
+    oracle, so the emitted report records the speedup of the
+    incremental hot path directly. Surfaced as [ccopt bench] and as
+    bench experiment B1; the JSON form is the schema of
+    [BENCH_sched.json]. *)
+
+type spec = {
+  sizes : (int * int) list;  (** (n transactions, m steps) per cell *)
+  mixes : string list;       (** subset of ["uniform"; "hot"; "skewed"] *)
+  n_vars : int;
+  streams : int;             (** arrival streams per cell *)
+  min_time : float;          (** per-cell time budget, seconds *)
+  seed : int;
+}
+
+type row = {
+  scheduler : string;
+  mix : string;
+  n : int;
+  m : int;
+  requests : int;      (** requests served: grants + delays + aborts *)
+  seconds : float;
+  req_per_sec : float;
+}
+
+val default : spec
+(** Full run: 4x4 / 8x8 / 16x8 over uniform, hot and zipf-skewed mixes. *)
+
+val smoke : spec
+(** Tiny sizes, single pass — the CI smoke configuration. *)
+
+val syntax_of_mix :
+  Random.State.t -> mix:string -> n:int -> m:int -> n_vars:int -> Syntax.t
+(** The workload generator behind a mix name. Raises [Invalid_argument]
+    on an unknown mix. *)
+
+val run : spec -> row list
+
+val speedups : row list -> (string * int * int * float) list
+(** [(mix, n, m, sgt_req_per_sec / sgt_ref_req_per_sec)] per cell. *)
+
+val to_json : spec -> row list -> string
+(** Hand-emitted JSON: [{"benchmark", "unit", "config", "results":
+    [row...], "sgt_speedup_vs_ref": {...}}]. *)
+
+val json_well_formed : string -> bool
+(** Minimal JSON well-formedness check (full-string parse) used by the
+    bench smoke test; no external parser dependency. *)
+
+val pp_rows : Format.formatter -> row list -> unit

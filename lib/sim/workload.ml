@@ -17,6 +17,21 @@ let hotspot st ~n ~m ~n_vars ~theta =
   in
   Syntax.make (Array.init n (fun _ -> Array.init m (fun _ -> pick ())))
 
+let zipf st ~n ~m ~n_vars ~s =
+  if n_vars < 1 then invalid_arg "Workload.zipf: needs >= 1 variable";
+  let vars = Array.of_list (var_pool n_vars) in
+  let weights = Array.init n_vars (fun i -> float_of_int (i + 1) ** -.s) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let pick () =
+    let r = Random.State.float st total in
+    let rec go i acc =
+      let acc = acc +. weights.(i) in
+      if r < acc || i = n_vars - 1 then vars.(i) else go (i + 1) acc
+    in
+    go 0 0.
+  in
+  Syntax.make (Array.init n (fun _ -> Array.init m (fun _ -> pick ())))
+
 let disjoint ~n ~m =
   Syntax.make
     (Array.init n (fun i -> Array.make m (Printf.sprintf "v%d" i)))

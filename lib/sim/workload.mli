@@ -19,6 +19,12 @@ val hotspot : Random.State.t -> n:int -> m:int -> n_vars:int -> theta:float -> S
     [theta = 1.0] is the single-hot-spot workload, [theta = 0.0] spreads
     uniformly over the remaining variables. *)
 
+val zipf : Random.State.t -> n:int -> m:int -> n_vars:int -> s:float -> Syntax.t
+(** Like {!uniform}, but variable [v_i] is drawn with probability
+    proportional to [1/(i+1)^s] — the classic skewed access mix.
+    [s = 0.0] degenerates to uniform; larger [s] concentrates accesses
+    on the low-numbered variables. *)
+
 val disjoint : n:int -> m:int -> Syntax.t
 (** Transaction [i] only touches its own variable — the zero-contention
     extreme. *)

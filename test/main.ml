@@ -12,6 +12,7 @@ let () =
       ("locking", Test_locking.suite);
       ("geometry", Test_geometry.suite);
       ("sched", Test_sched.suite);
+      ("sgt-diff", Test_sgt_diff.suite);
       ("sim", Test_sim.suite);
       ("optimality", Test_optimality.suite);
       ("rw-model", Test_rw.suite);

@@ -140,6 +140,146 @@ let prop_closure_sound =
       done;
       !ok)
 
+(* ---------- incremental acyclic graphs (Pearce–Kelly) ---------- *)
+
+module A = Digraph.Acyclic
+
+let test_acyclic_basic () =
+  let g = A.create 3 in
+  check_true "add 0->1" (A.add_edge_acyclic g 0 1 = Ok ());
+  check_true "add 1->2" (A.add_edge_acyclic g 1 2 = Ok ());
+  check_true "has 0->1" (A.has_edge g 0 1);
+  check_int "two edges" 2 (A.n_edges g);
+  check_true "idempotent" (A.add_edge_acyclic g 0 1 = Ok ());
+  check_int "still two edges" 2 (A.n_edges g);
+  (match A.add_edge_acyclic g 2 0 with
+  | Error [ 0; 1; 2 ] -> ()
+  | Error w ->
+    Alcotest.failf "unexpected witness [%s]"
+      (String.concat ";" (List.map string_of_int w))
+  | Ok () -> Alcotest.fail "cycle accepted");
+  check_int "rejected edge not added" 2 (A.n_edges g);
+  check_true "self-loop refused" (A.add_edge_acyclic g 1 1 = Error [ 1 ]);
+  check_true "closes_cycle query" (A.closes_cycle g 2 0);
+  check_false "harmless edge" (A.closes_cycle g 0 2);
+  check_int "query did not mutate" 2 (A.n_edges g)
+
+let test_acyclic_reorder () =
+  (* insertions against the initial identity order force reorderings *)
+  let g = A.create 4 in
+  check_true "3->2" (A.add_edge_acyclic g 3 2 = Ok ());
+  check_true "2->1" (A.add_edge_acyclic g 2 1 = Ok ());
+  check_true "1->0" (A.add_edge_acyclic g 1 0 = Ok ());
+  let order = A.topological_order g in
+  Alcotest.(check (array int)) "reversed order" [| 3; 2; 1; 0 |] order;
+  check_true "0->3 closes cycle" (Result.is_error (A.add_edge_acyclic g 0 3))
+
+let test_acyclic_removal () =
+  let g = A.create 4 in
+  List.iter
+    (fun (u, v) -> check_true "acyclic add" (A.add_edge_acyclic g u v = Ok ()))
+    [ (0, 1); (1, 2); (2, 3) ];
+  check_true "3->0 blocked by the chain"
+    (Result.is_error (A.add_edge_acyclic g 3 0));
+  A.remove_vertex g 1;
+  check_int "edges after removal" 1 (A.n_edges g);
+  Alcotest.(check (list int)) "1 isolated succ" [] (A.succ g 1);
+  Alcotest.(check (list int)) "1 isolated pred" [] (A.pred g 1);
+  check_true "3->0 now fine" (A.add_edge_acyclic g 3 0 = Ok ());
+  A.remove_edge g 2 3;
+  check_false "edge removed" (A.has_edge g 2 3)
+
+let test_acyclic_batch_query () =
+  let g = A.create 4 in
+  List.iter
+    (fun (u, v) -> ignore (A.add_edge_acyclic g u v))
+    [ (0, 1); (1, 2) ];
+  (* adding {0 -> 3, 2 -> 3} is fine; {0 -> 1's tail...}: adding
+     {3 -> 0} batched with anything is fine too since 3 unreachable *)
+  check_false "batch ok" (A.closes_cycle_any g ~sources:[ 0; 2 ] ~target:3);
+  check_true "batch cycle" (A.closes_cycle_any g ~sources:[ 3; 2 ] ~target:0);
+  check_true "self in batch" (A.closes_cycle_any g ~sources:[ 0 ] ~target:0)
+
+(* Differential property: a random op sequence on the incremental
+   structure mirrors exactly onto the plain digraph — same accepted edge
+   set, rejections exactly when the plain graph would turn cyclic, valid
+   witnesses, and a maintained order that is topological throughout. *)
+let acyclic_ops_gen =
+  QCheck.Gen.(
+    int_range 2 7 >>= fun n ->
+    list_size (int_range 0 40)
+      (oneof
+         [
+           map2 (fun u v -> `Add (u, v)) (int_range 0 (n - 1)) (int_range 0 (n - 1));
+           map2 (fun u v -> `Del (u, v)) (int_range 0 (n - 1)) (int_range 0 (n - 1));
+           map (fun u -> `DelV u) (int_range 0 (n - 1));
+         ])
+    >>= fun ops -> return (n, ops))
+
+let prop_acyclic_matches_plain =
+  QCheck.Test.make ~name:"Acyclic mirrors plain digraph + has_cycle" ~count:400
+    (QCheck.make
+       ~print:(fun (n, ops) ->
+         Printf.sprintf "n=%d ops=%s" n
+           (String.concat ";"
+              (List.map
+                 (function
+                   | `Add (u, v) -> Printf.sprintf "+%d->%d" u v
+                   | `Del (u, v) -> Printf.sprintf "-%d->%d" u v
+                   | `DelV u -> Printf.sprintf "-v%d" u)
+                 ops)))
+       acyclic_ops_gen)
+    (fun (n, ops) ->
+      let a = A.create n in
+      let p = Digraph.create n in
+      let order_ok () =
+        let order = A.topological_order a in
+        let pos = Array.make n 0 in
+        Array.iteri (fun i u -> pos.(u) <- i) order;
+        List.for_all (fun (u, v) -> pos.(u) < pos.(v)) (A.edges a)
+      in
+      let witness_ok u v = function
+        | [] -> false
+        | first :: _ as path ->
+          first = v
+          && (match List.rev path with last :: _ -> last = u | [] -> false)
+          && (match path with
+             | [ w ] -> w = u && w = v (* self-loop witness *)
+             | _ ->
+               let rec edges_exist = function
+                 | a' :: (b :: _ as rest) ->
+                   Digraph.has_edge p a' b && edges_exist rest
+                 | _ -> true
+               in
+               edges_exist path)
+      in
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Add (u, v) -> (
+            let probe = Digraph.copy p in
+            Digraph.add_edge probe u v;
+            let query = A.closes_cycle a u v in
+            match A.add_edge_acyclic a u v with
+            | Ok () ->
+              Digraph.add_edge p u v;
+              (not query) && not (Digraph.has_cycle p)
+            | Error w ->
+              query && Digraph.has_cycle probe && witness_ok u v w)
+          | `Del (u, v) ->
+            A.remove_edge a u v;
+            Digraph.remove_edge p u v;
+            true
+          | `DelV u ->
+            A.remove_vertex a u;
+            List.iter (fun v -> Digraph.remove_edge p u v) (Digraph.succ p u);
+            List.iter (fun w -> Digraph.remove_edge p w u) (Digraph.pred p u);
+            true)
+          && A.edges a = Digraph.edges p
+          && A.n_edges a = Digraph.n_edges p
+          && order_ok ())
+        ops)
+
 let suite =
   [
     Alcotest.test_case "basic ops" `Quick test_basic;
@@ -149,6 +289,10 @@ let suite =
     Alcotest.test_case "scc" `Quick test_scc;
     Alcotest.test_case "reachable" `Quick test_reachable;
     Alcotest.test_case "components" `Quick test_components;
+    Alcotest.test_case "acyclic basic" `Quick test_acyclic_basic;
+    Alcotest.test_case "acyclic reorder" `Quick test_acyclic_reorder;
+    Alcotest.test_case "acyclic removal" `Quick test_acyclic_removal;
+    Alcotest.test_case "acyclic batch query" `Quick test_acyclic_batch_query;
   ]
   @ qsuite
       [
@@ -156,4 +300,5 @@ let suite =
         prop_topo_respects_edges;
         prop_find_cycle_is_cycle;
         prop_closure_sound;
+        prop_acyclic_matches_plain;
       ]

@@ -128,11 +128,11 @@ let test_driver_livelock_guard () =
       ~victim:(fun _ -> None)
       ()
   in
-  check_true "driver raises"
+  check_true "driver raises typed Stall"
     (try
        ignore (Sched.Driver.run broken ~fmt:[| 1 |] ~arrivals:[| 0 |]);
        false
-     with Failure _ -> true)
+     with Sched.Driver.Stall _ -> true)
 
 let test_tree_spanning_single () =
   let h = [ ("a", "r") ] in
