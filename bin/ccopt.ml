@@ -9,6 +9,7 @@
      ccopt verify    [--k 2]                    theorem micro-universes
      ccopt measure   --syntax "xy,yx" --samples 500
      ccopt bench     [--json] [--out BENCH_sched.json]  scheduler req/s
+     ccopt trace     --syntax "xy,yx" --seed 42 [--out PREFIX] [--json]
 *)
 
 open Core
@@ -158,6 +159,55 @@ let bench sizes mixes n_vars streams min_time seed smoke json out =
     output_string oc body;
     close_out oc;
     Printf.printf "wrote %s\n" file
+
+let trace spec sched_names seed capacity samples json out =
+  let syntax = parse_syntax spec in
+  let only =
+    match sched_names with
+    | None -> []
+    | Some names ->
+      List.filter (fun s -> s <> "") (String.split_on_char ',' names)
+  in
+  let tspec =
+    {
+      Sim.Trace_run.label = spec;
+      syntax;
+      seed;
+      capacity;
+      samples;
+      only;
+    }
+  in
+  let runs = Sim.Trace_run.execute tspec in
+  (* the trace is only worth shipping if it is a faithful witness *)
+  let bad = ref false in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun d ->
+          bad := true;
+          Printf.eprintf "ccopt trace: %s: %s\n" r.Sim.Trace_run.name d)
+        (Sim.Trace_run.mismatches r);
+      if not (Sim.Sched_bench.json_well_formed r.Sim.Trace_run.chrome) then begin
+        bad := true;
+        Printf.eprintf "ccopt trace: %s: malformed Chrome trace JSON\n"
+          r.Sim.Trace_run.name
+      end)
+    runs;
+  if !bad then exit 1;
+  (match out with
+  | None -> ()
+  | Some prefix ->
+    List.iter
+      (fun r ->
+        let file = prefix ^ "-" ^ r.Sim.Trace_run.slug ^ ".json" in
+        let oc = open_out file in
+        output_string oc r.Sim.Trace_run.chrome;
+        close_out oc;
+        Printf.printf "wrote %s\n" file)
+      runs);
+  if json then print_endline (Sim.Trace_run.json_summary tspec runs)
+  else Format.printf "%a" Sim.Trace_run.pp_summary runs
 
 (* ---------- cmdliner wiring ---------- *)
 
@@ -326,6 +376,50 @@ let bench_cmd =
       const bench $ sizes $ mixes $ n_vars $ streams $ min_time $ seed $ smoke
       $ json $ out)
 
+let trace_cmd =
+  let sched =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scheduler" ] ~docv:"NAMES"
+          ~doc:"Comma-separated subset of the suite (serial, 2pl, \
+                2pl-prime, preclaim, sgt, to); default: all.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Arrival-stream seed.")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt int Sim.Trace_run.default_capacity
+      & info [ "capacity" ] ~doc:"Ring-buffer capacity per scheduler.")
+  in
+  let samples =
+    Arg.(
+      value & opt int 200
+      & info [ "samples" ]
+          ~doc:"Monte-Carlo samples for the zero-delay fraction.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PREFIX"
+          ~doc:"Write one Chrome trace per scheduler to \
+                PREFIX-<scheduler>.json (load in about://tracing or \
+                Perfetto).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"record a request-lifecycle trace and the Section 6 time \
+             decomposition")
+    Term.(
+      const trace $ syntax_arg $ sched $ seed $ capacity $ samples $ json
+      $ out)
+
 let () =
   let doc = "concurrency-control optimality toolbox (Kung-Papadimitriou 1979)" in
   exit
@@ -335,6 +429,7 @@ let () =
             [
               classify_cmd; herbrand_cmd; geometry_cmd; analyze_cmd;
               schedule_run_cmd; verify_cmd; measure_cmd; bench_cmd;
+              trace_cmd;
             ])
      with
      | Invalid_argument msg ->

@@ -1,0 +1,55 @@
+type abort_reason = Deadlock | Scheduler_abort
+
+type t =
+  | Submitted of { tx : int; idx : int }
+  | Delayed of { tx : int; idx : int }
+  | Granted of { tx : int; idx : int }
+  | Executed of { tx : int; idx : int }
+  | Committed of { tx : int }
+  | Aborted of { tx : int; reason : abort_reason }
+  | Restarted of { tx : int }
+  | Edge_added of { src : int; dst : int }
+  | Cycle_refused of { tx : int; idx : int }
+  | Lock_acquired of { tx : int; lock : string }
+  | Lock_released of { tx : int; lock : string }
+  | Wound of { victim : int }
+  | Ts_refused of { tx : int; idx : int }
+
+let tx = function
+  | Submitted { tx; _ }
+  | Delayed { tx; _ }
+  | Granted { tx; _ }
+  | Executed { tx; _ }
+  | Committed { tx }
+  | Aborted { tx; _ }
+  | Restarted { tx }
+  | Cycle_refused { tx; _ }
+  | Lock_acquired { tx; _ }
+  | Lock_released { tx; _ }
+  | Ts_refused { tx; _ } -> Some tx
+  | Edge_added _ | Wound _ -> None
+
+let pp ppf = function
+  | Submitted { tx; idx } -> Format.fprintf ppf "submit T%d.%d" (tx + 1) idx
+  | Delayed { tx; idx } -> Format.fprintf ppf "delay T%d.%d" (tx + 1) idx
+  | Granted { tx; idx } -> Format.fprintf ppf "grant T%d.%d" (tx + 1) idx
+  | Executed { tx; idx } -> Format.fprintf ppf "exec T%d.%d" (tx + 1) idx
+  | Committed { tx } -> Format.fprintf ppf "commit T%d" (tx + 1)
+  | Aborted { tx; reason = Deadlock } ->
+    Format.fprintf ppf "abort T%d (deadlock)" (tx + 1)
+  | Aborted { tx; reason = Scheduler_abort } ->
+    Format.fprintf ppf "abort T%d (scheduler)" (tx + 1)
+  | Restarted { tx } -> Format.fprintf ppf "restart T%d" (tx + 1)
+  | Edge_added { src; dst } ->
+    Format.fprintf ppf "edge T%d->T%d" (src + 1) (dst + 1)
+  | Cycle_refused { tx; idx } ->
+    Format.fprintf ppf "cycle-refused T%d.%d" (tx + 1) idx
+  | Lock_acquired { tx; lock } ->
+    Format.fprintf ppf "lock T%d %s" (tx + 1) lock
+  | Lock_released { tx; lock } ->
+    Format.fprintf ppf "unlock T%d %s" (tx + 1) lock
+  | Wound { victim } -> Format.fprintf ppf "wound T%d" (victim + 1)
+  | Ts_refused { tx; idx } ->
+    Format.fprintf ppf "ts-refused T%d.%d" (tx + 1) idx
+
+let to_string ev = Format.asprintf "%a" pp ev

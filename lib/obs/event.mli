@@ -1,0 +1,48 @@
+(** The observability vocabulary: one structured event per interesting
+    moment of a request's lifecycle, plus scheduler-internal events.
+
+    The request lifecycle is
+    [Submitted -> (Delayed ->)* Granted -> Executed -> ... -> Committed]
+    with [Aborted]/[Restarted] interposed when a scheduler or the
+    deadlock resolver kills an incarnation. Scheduler-internal events
+    (SGT conflict-edge additions and cycle refusals, lock-respecting
+    acquire/release and wound decisions, timestamp-watermark refusals)
+    share the stream so a single trace tells the whole story.
+
+    Events carry no timestamps; the {!Sink} stamps them with the clock
+    of whatever component emits (driver event counter or simulated
+    time). *)
+
+type abort_reason =
+  | Deadlock        (** victim named while resolving a stall *)
+  | Scheduler_abort (** the scheduler answered a request with [Abort] *)
+
+type t =
+  | Submitted of { tx : int; idx : int }  (** request entered the system *)
+  | Delayed of { tx : int; idx : int }
+      (** a [Delay] verdict — re-attempts of a parked request emit one
+          event each, mirroring the driver's delay counter *)
+  | Granted of { tx : int; idx : int }
+  | Executed of { tx : int; idx : int }   (** the granted step finished *)
+  | Committed of { tx : int }             (** final step executed *)
+  | Aborted of { tx : int; reason : abort_reason }
+  | Restarted of { tx : int }             (** new incarnation begins *)
+  | Edge_added of { src : int; dst : int }
+      (** SGT admitted a conflict edge [src -> dst] *)
+  | Cycle_refused of { tx : int; idx : int }
+      (** SGT refused a request because it would close a cycle (fresh
+          graph searches only; cached re-verdicts emit {!Delayed} via
+          the driver) *)
+  | Lock_acquired of { tx : int; lock : string }
+  | Lock_released of { tx : int; lock : string }
+  | Wound of { victim : int }
+      (** a lock scheduler named a wait-for-cycle victim *)
+  | Ts_refused of { tx : int; idx : int }
+      (** timestamp-ordering watermark refusal (leads to an abort) *)
+
+val tx : t -> int option
+(** The transaction a lifecycle event belongs to; [None] for
+    {!Edge_added} and {!Wound}, which concern the scheduler itself. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

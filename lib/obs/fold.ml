@@ -1,0 +1,116 @@
+type counters = {
+  submits : int;
+  grants : int;
+  delays : int;
+  restarts : int;
+  deadlocks : int;
+  commits : int;
+  waiting : int;
+}
+
+(* Per-transaction FIFO of submission timestamps, mirroring the
+   driver's submission ring: grants pop in order, aborts leave pending
+   submissions in place (the replayed steps are re-submitted as fresh
+   events). *)
+let submit_queues () : (int, float Queue.t) Hashtbl.t = Hashtbl.create 16
+
+let queue_of qs tx =
+  match Hashtbl.find_opt qs tx with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add qs tx q;
+    q
+
+let fold_grants events ~on_grant =
+  let qs = submit_queues () in
+  List.iter
+    (fun (ts, ev) ->
+      match (ev : Event.t) with
+      | Submitted { tx; _ } -> Queue.add ts (queue_of qs tx)
+      | Granted { tx; _ } -> (
+        (* a grant with no recorded submission means the trace starts
+           mid-stream (ring truncation): no waiting observation *)
+        match Queue.take_opt (queue_of qs tx) with
+        | Some s -> on_grant (int_of_float (ts -. s))
+        | None -> ())
+      | _ -> ())
+    events
+
+let counters events =
+  let c =
+    ref
+      {
+        submits = 0;
+        grants = 0;
+        delays = 0;
+        restarts = 0;
+        deadlocks = 0;
+        commits = 0;
+        waiting = 0;
+      }
+  in
+  let qs = submit_queues () in
+  List.iter
+    (fun (ts, ev) ->
+      match (ev : Event.t) with
+      | Submitted { tx; _ } ->
+        Queue.add ts (queue_of qs tx);
+        c := { !c with submits = !c.submits + 1 }
+      | Granted { tx; _ } ->
+        let w =
+          match Queue.take_opt (queue_of qs tx) with
+          | Some s -> int_of_float (ts -. s)
+          | None -> 0 (* submission truncated away by the ring *)
+        in
+        c := { !c with grants = !c.grants + 1; waiting = !c.waiting + w }
+      | Delayed _ -> c := { !c with delays = !c.delays + 1 }
+      | Aborted { reason; _ } ->
+        c :=
+          {
+            !c with
+            restarts = !c.restarts + 1;
+            deadlocks =
+              (!c.deadlocks + match reason with
+               | Event.Deadlock -> 1
+               | Event.Scheduler_abort -> 0);
+          }
+      | Committed _ -> c := { !c with commits = !c.commits + 1 }
+      | Executed _ | Restarted _ | Edge_added _ | Cycle_refused _
+      | Lock_acquired _ | Lock_released _ | Wound _ | Ts_refused _ -> ())
+    events;
+  !c
+
+let zero_delay c = c.delays = 0 && c.restarts = 0
+
+let spans ~n events =
+  let sp = Span.create n in
+  List.iter
+    (fun (ts, ev) ->
+      match (ev : Event.t) with
+      | Submitted { tx; _ } ->
+        (* only the first submission starts the clock; later arrivals
+           leave the current phase alone *)
+        if not (Span.started sp tx) then Span.enter sp tx ~now:ts Scheduling
+      | Delayed { tx; _ } -> Span.enter sp tx ~now:ts Waiting
+      | Granted { tx; _ } -> Span.enter sp tx ~now:ts Executing
+      | Executed { tx; _ } -> Span.enter sp tx ~now:ts Scheduling
+      | Aborted { tx; _ } -> Span.enter sp tx ~now:ts Scheduling
+      | Committed { tx } ->
+        (* a commit with no prior lifecycle event (truncated trace)
+           carries no span information *)
+        if Span.started sp tx then Span.finish sp tx ~now:ts
+      | Restarted _ | Edge_added _ | Cycle_refused _ | Lock_acquired _
+      | Lock_released _ | Wound _ | Ts_refused _ -> ())
+    events;
+  sp
+
+let grant_waits events =
+  let acc = ref [] in
+  fold_grants events ~on_grant:(fun w -> acc := w :: !acc);
+  List.rev !acc
+
+let wait_histogram events =
+  let h = Hist.create () in
+  fold_grants events ~on_grant:(Hist.add h);
+  h

@@ -1,0 +1,51 @@
+(** Folds over event traces: recover counters, §6 spans and latency
+    histograms from the raw stream.
+
+    The differential contract (enforced by [test/test_trace.ml]): on a
+    driver-produced trace, {!counters} reproduces the driver's reported
+    statistics {e exactly} — grants, delays, restarts, deadlocks,
+    waiting, and the zero-delay flag. The trace is therefore a complete
+    black-box witness of a run, in the Biswas–Enea sense: anything the
+    stats say, the trace proves.
+
+    Timestamp conventions of the driver (relied on by [waiting]):
+    [Submitted] is stamped with the clock at submission, [Granted] with
+    the clock at the decision instant (one tick before the corresponding
+    [Executed]); submissions are matched to grants per transaction in
+    FIFO order, exactly like the driver's submission ring.
+
+    All folds tolerate traces that start mid-stream (a ring buffer that
+    dropped its oldest events): a grant whose submission was truncated
+    away contributes no waiting observation, and a commit with no prior
+    lifecycle event no span. The exact-reproduction guarantee holds for
+    complete traces. *)
+
+type counters = {
+  submits : int;
+  grants : int;
+  delays : int;
+  restarts : int;   (** [Aborted] events, any reason *)
+  deadlocks : int;  (** [Aborted] events with reason [Deadlock] *)
+  commits : int;
+  waiting : int;
+      (** Σ over grants of [grant_ts - submit_ts], FIFO-matched — the
+          driver's waiting statistic *)
+}
+
+val counters : (float * Event.t) list -> counters
+
+val zero_delay : counters -> bool
+(** No delay and no abort anywhere in the trace. *)
+
+val spans : n:int -> (float * Event.t) list -> Span.t
+(** Replay the lifecycle into per-transaction spans: a transaction is
+    [Waiting] from a [Delayed] verdict until its next grant or abort,
+    [Executing] from [Granted] to [Executed], and [Scheduling] the rest
+    of the time between first submission and commit. *)
+
+val grant_waits : (float * Event.t) list -> int list
+(** Per-grant waiting times (FIFO-matched [grant_ts - submit_ts],
+    truncated to int), in grant order — histogram fodder. *)
+
+val wait_histogram : (float * Event.t) list -> Hist.t
+(** {!grant_waits} folded into a log₂ histogram. *)

@@ -1,0 +1,65 @@
+(* 63 buckets cover every non-negative OCaml int on 64-bit. *)
+let n_buckets = 63
+
+type t = {
+  mutable n : int;
+  mutable sum : int;
+  counts : int array;
+}
+
+let create () = { n = 0; sum = 0; counts = Array.make n_buckets 0 }
+
+let bucket_of v =
+  if v < 0 then invalid_arg "Obs.Hist.bucket_of: negative value";
+  let rec go b v = if v = 0 then b else go (b + 1) (v lsr 1) in
+  go 0 v
+
+let bounds k =
+  if k < 0 || k >= n_buckets then invalid_arg "Obs.Hist.bounds";
+  if k = 0 then (0, 0) else (1 lsl (k - 1), (1 lsl k) - 1)
+
+let add t v =
+  if v < 0 then invalid_arg "Obs.Hist.add: negative value";
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum + v
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0. else float_of_int t.sum /. float_of_int t.n
+
+let merge a b =
+  {
+    n = a.n + b.n;
+    sum = a.sum + b.sum;
+    counts = Array.init n_buckets (fun k -> a.counts.(k) + b.counts.(k));
+  }
+
+let equal a b = a.n = b.n && a.sum = b.sum && a.counts = b.counts
+
+let buckets t =
+  let acc = ref [] in
+  for k = n_buckets - 1 downto 0 do
+    if t.counts.(k) > 0 then
+      let lo, hi = bounds k in
+      acc := (lo, hi, t.counts.(k)) :: !acc
+  done;
+  !acc
+
+let quantile t q =
+  if t.n = 0 then None
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let target = max 1 (int_of_float (ceil (q *. float_of_int t.n))) in
+    let rec go k cum =
+      let cum = cum + t.counts.(k) in
+      if cum >= target then Some (snd (bounds k)) else go (k + 1) cum
+    in
+    go 0 0
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.2f" t.n (mean t);
+  List.iter
+    (fun (lo, hi, c) -> Format.fprintf ppf " [%d,%d]:%d" lo hi c)
+    (buckets t)

@@ -1,0 +1,45 @@
+(** Log₂-bucketed histograms over non-negative integers (latencies in
+    driver events or scaled time units), with mergeable counters.
+
+    Bucket [0] holds the value [0]; bucket [k >= 1] holds the values in
+    [[2^(k-1), 2^k - 1]]. Merging is pointwise addition, so histograms
+    recorded independently (per shard, per scheduler, per round) combine
+    associatively and commutatively — the property the tests pin. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Raises [Invalid_argument] on a negative value. *)
+
+val count : t -> int
+(** Number of recorded values. *)
+
+val total : t -> int
+(** Exact sum of recorded values (not bucketed). *)
+
+val mean : t -> float
+(** [0.] when empty. *)
+
+val merge : t -> t -> t
+(** A fresh histogram; inputs unchanged. *)
+
+val equal : t -> t -> bool
+
+val bucket_of : int -> int
+(** The bucket index a value lands in. *)
+
+val bounds : int -> int * int
+(** [(lo, hi)] of a bucket, inclusive. *)
+
+val buckets : t -> (int * int * int) list
+(** Non-empty buckets as [(lo, hi, count)], in increasing order. *)
+
+val quantile : t -> float -> int option
+(** [quantile t q] is the inclusive upper bound of the first bucket at
+    which the cumulative count reaches [max 1 (ceil (q * count))] —
+    an upper bound on the q-quantile of the recorded values. [None]
+    when empty; [q] is clamped to [0, 1]. *)
+
+val pp : Format.formatter -> t -> unit

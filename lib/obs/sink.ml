@@ -1,0 +1,78 @@
+type t = {
+  mutable now : float;
+  emit : float -> Event.t -> unit;
+  enabled : bool;
+}
+
+let null = { now = 0.; emit = (fun _ _ -> ()); enabled = false }
+let on t = t.enabled
+let set_now t ts = if t.enabled then t.now <- ts
+let record t ev = if t.enabled then t.emit t.now ev
+let record_at t ts ev = if t.enabled then t.emit ts ev
+
+module Memory = struct
+  type collector = {
+    mutable rev : (float * Event.t) list;
+    mutable n : int;
+  }
+
+  let create () = { rev = []; n = 0 }
+
+  let sink c =
+    {
+      now = 0.;
+      emit =
+        (fun ts ev ->
+          c.rev <- (ts, ev) :: c.rev;
+          c.n <- c.n + 1);
+      enabled = true;
+    }
+
+  let events c = List.rev c.rev
+  let length c = c.n
+
+  let clear c =
+    c.rev <- [];
+    c.n <- 0
+end
+
+module Ring = struct
+  type buf = {
+    data : (float * Event.t) array;
+    cap : int;
+    mutable len : int;
+    mutable head : int; (* index of the oldest retained entry *)
+    mutable lost : int;
+  }
+
+  let dummy = (0., Event.Committed { tx = -1 })
+
+  let create ~capacity =
+    if capacity <= 0 then
+      invalid_arg "Obs.Sink.Ring.create: capacity must be positive";
+    { data = Array.make capacity dummy; cap = capacity; len = 0; head = 0;
+      lost = 0 }
+
+  let push b ts ev =
+    if b.len < b.cap then begin
+      b.data.((b.head + b.len) mod b.cap) <- (ts, ev);
+      b.len <- b.len + 1
+    end
+    else begin
+      (* full: the incoming event replaces the oldest one *)
+      b.data.(b.head) <- (ts, ev);
+      b.head <- (b.head + 1) mod b.cap;
+      b.lost <- b.lost + 1
+    end
+
+  let sink b = { now = 0.; emit = push b; enabled = true }
+  let events b = List.init b.len (fun k -> b.data.((b.head + k) mod b.cap))
+  let length b = b.len
+  let capacity b = b.cap
+  let dropped b = b.lost
+
+  let clear b =
+    b.len <- 0;
+    b.head <- 0;
+    b.lost <- 0
+end

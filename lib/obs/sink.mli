@@ -1,0 +1,77 @@
+(** Event sinks: where components put their {!Event.t}s.
+
+    The contract that keeps the hot path hot: a disabled sink costs one
+    load-and-branch per emission site and {e nothing else} — callers
+    must guard event construction with {!on} so that no event is even
+    allocated when tracing is off:
+
+    {[
+      if Obs.Sink.on sink then
+        Obs.Sink.record sink (Obs.Event.Granted { tx; idx })
+    ]}
+
+    Sinks carry a current timestamp ({!set_now}) maintained by whoever
+    owns the clock (the driver's event counter, the simulation's
+    virtual time), so that components without a clock of their own
+    (schedulers) can still emit correctly stamped events. *)
+
+type t = {
+  mutable now : float;
+  emit : float -> Event.t -> unit;
+  enabled : bool;
+}
+
+val null : t
+(** The no-op sink: [on null = false], emissions vanish. *)
+
+val on : t -> bool
+(** Whether the sink records anything. Guard event construction on it. *)
+
+val set_now : t -> float -> unit
+(** Advance the sink's clock. No-op on a disabled sink. *)
+
+val record : t -> Event.t -> unit
+(** Emit at the sink's current clock. No-op on a disabled sink. *)
+
+val record_at : t -> float -> Event.t -> unit
+(** Emit at an explicit timestamp (for components that manage their own
+    clock, like the discrete-event simulation). *)
+
+(** Unbounded in-memory collector, for exact folds over complete
+    traces (tests, measurement). *)
+module Memory : sig
+  type collector
+
+  val create : unit -> collector
+  val sink : collector -> t
+  val events : collector -> (float * Event.t) list
+  (** In emission order. *)
+
+  val length : collector -> int
+  val clear : collector -> unit
+end
+
+(** Fixed-capacity ring buffer: keeps the {e latest} [capacity] events,
+    counts what it had to drop. The production-shaped sink — bounded
+    memory no matter how long the run. *)
+module Ring : sig
+  type buf
+
+  val create : capacity:int -> buf
+  (** Raises [Invalid_argument] when [capacity <= 0]. *)
+
+  val sink : buf -> t
+
+  val events : buf -> (float * Event.t) list
+  (** Oldest retained first, i.e. the last [min length capacity]
+      emissions in order. *)
+
+  val length : buf -> int
+  val capacity : buf -> int
+
+  val dropped : buf -> int
+  (** Emissions overwritten because the buffer was full. *)
+
+  val clear : buf -> unit
+  (** Empty the buffer and reset the drop counter. *)
+end

@@ -1,0 +1,165 @@
+type value = Int of int | Str of string
+
+type entry = {
+  name : string;
+  cat : string;
+  ph : char;
+  ts : float;
+  pid : int;
+  tid : int;
+  args : (string * value) list;
+}
+
+let lifecycle = "lifecycle"
+let internal = "scheduler"
+
+let instant ?(cat = lifecycle) ~ts ~tid name args =
+  { name; cat; ph = 'i'; ts; pid = 0; tid; args }
+
+let entries events =
+  (* The DES can emit slightly out of global order (a decision at t may
+     be recorded after an arrival at t' < t was processed); sorting
+     stably by timestamp restores track monotonicity without touching
+     the order of simultaneous events. *)
+  let events = List.stable_sort (fun (a, _) (b, _) -> compare a b) events in
+  let max_tx =
+    List.fold_left
+      (fun m (_, ev) ->
+        match Event.tx ev with Some tx -> max m tx | None -> m)
+      (-1) events
+  in
+  let meta =
+    { name = "thread_name"; cat = "__metadata"; ph = 'M'; ts = 0.; pid = 0;
+      tid = 0; args = [ ("name", Str "scheduler") ] }
+    :: List.init (max_tx + 1) (fun tx ->
+           { name = "thread_name"; cat = "__metadata"; ph = 'M'; ts = 0.;
+             pid = 0; tid = tx + 1;
+             args = [ ("name", Str (Printf.sprintf "T%d" (tx + 1))) ] })
+  in
+  let open_wait = Array.make (max_tx + 1) false in
+  let open_exec = Array.make (max_tx + 1) false in
+  let last_ts = ref 0. in
+  let rev = ref [] in
+  let push e = rev := e :: !rev in
+  let close_wait ~ts tx =
+    if open_wait.(tx) then begin
+      open_wait.(tx) <- false;
+      push { name = "wait"; cat = lifecycle; ph = 'E'; ts; pid = 0;
+             tid = tx + 1; args = [] }
+    end
+  in
+  let close_exec ~ts tx =
+    if open_exec.(tx) then begin
+      open_exec.(tx) <- false;
+      push { name = "exec"; cat = lifecycle; ph = 'E'; ts; pid = 0;
+             tid = tx + 1; args = [] }
+    end
+  in
+  List.iter
+    (fun (ts, ev) ->
+      last_ts := ts;
+      match (ev : Event.t) with
+      | Submitted { tx; idx } ->
+        push (instant ~ts ~tid:(tx + 1) "submit" [ ("step", Int idx) ])
+      | Delayed { tx; idx } ->
+        if not open_wait.(tx) then begin
+          open_wait.(tx) <- true;
+          push { name = "wait"; cat = lifecycle; ph = 'B'; ts; pid = 0;
+                 tid = tx + 1; args = [ ("step", Int idx) ] }
+        end
+      | Granted { tx; idx } ->
+        close_wait ~ts tx;
+        open_exec.(tx) <- true;
+        push { name = "exec"; cat = lifecycle; ph = 'B'; ts; pid = 0;
+               tid = tx + 1; args = [ ("step", Int idx) ] }
+      | Executed { tx; _ } -> close_exec ~ts tx
+      | Committed { tx } -> push (instant ~ts ~tid:(tx + 1) "commit" [])
+      | Aborted { tx; reason } ->
+        close_wait ~ts tx;
+        close_exec ~ts tx;
+        push
+          (instant ~ts ~tid:(tx + 1) "abort"
+             [ ( "reason",
+                 Str
+                   (match reason with
+                   | Event.Deadlock -> "deadlock"
+                   | Event.Scheduler_abort -> "scheduler") ) ])
+      | Restarted { tx } -> push (instant ~ts ~tid:(tx + 1) "restart" [])
+      | Edge_added { src; dst } ->
+        push
+          (instant ~cat:internal ~ts ~tid:0 "edge"
+             [ ("src", Int (src + 1)); ("dst", Int (dst + 1)) ])
+      | Cycle_refused { tx; idx } ->
+        push
+          (instant ~cat:internal ~ts ~tid:(tx + 1) "cycle-refused"
+             [ ("step", Int idx) ])
+      | Lock_acquired { tx; lock } ->
+        push (instant ~cat:internal ~ts ~tid:(tx + 1) "lock"
+                [ ("var", Str lock) ])
+      | Lock_released { tx; lock } ->
+        push (instant ~cat:internal ~ts ~tid:(tx + 1) "unlock"
+                [ ("var", Str lock) ])
+      | Wound { victim } ->
+        push
+          (instant ~cat:internal ~ts ~tid:0 "wound"
+             [ ("victim", Int (victim + 1)) ])
+      | Ts_refused { tx; idx } ->
+        push
+          (instant ~cat:internal ~ts ~tid:(tx + 1) "ts-refused"
+             [ ("step", Int idx) ]))
+    events;
+  (* a truncated trace (ring overflow) may leave spans open: close them
+     so every B has its E *)
+  for tx = 0 to max_tx do
+    close_exec ~ts:!last_ts tx;
+    close_wait ~ts:!last_ts tx
+  done;
+  meta @ List.rev !rev
+
+(* ---------- JSON rendering ---------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let chrome_of_entries es =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"displayTimeUnit\": \"ms\",\n";
+  Buffer.add_string b "  \"traceEvents\": [\n";
+  List.iteri
+    (fun i e ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%c\", \
+            \"ts\": %.3f, \"pid\": %d, \"tid\": %d"
+           (escape e.name) (escape e.cat) e.ph e.ts e.pid e.tid);
+      (match e.args with
+      | [] -> ()
+      | args ->
+        Buffer.add_string b ", \"args\": { ";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_string b ", ";
+            Buffer.add_string b
+              (match v with
+              | Int n -> Printf.sprintf "\"%s\": %d" (escape k) n
+              | Str s -> Printf.sprintf "\"%s\": \"%s\"" (escape k) (escape s)))
+          args;
+        Buffer.add_string b " }");
+      Buffer.add_string b
+        (if i = List.length es - 1 then " }\n" else " },\n"))
+    es;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let chrome events = chrome_of_entries (entries events)

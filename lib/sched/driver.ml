@@ -15,6 +15,7 @@ exception Stall of string
 
 type state = {
   sched : Scheduler.t;
+  sink : Obs.Sink.t;
   fmt : int array;
   next_step : int array;       (* next step index, current incarnation *)
   outstanding : int array;     (* submitted but ungranted requests *)
@@ -37,10 +38,11 @@ type state = {
   mutable grants : int;
 }
 
-let init sched fmt =
+let init sched sink fmt =
   let n = Array.length fmt in
   {
     sched;
+    sink;
     fmt;
     next_step = Array.make n 0;
     outstanding = Array.make n 0;
@@ -82,27 +84,46 @@ let dequeue st i = Intq.remove st.blocked i
 let completed st i =
   st.next_step.(i) >= st.fmt.(i) && st.outstanding.(i) = 0
 
-let do_abort st i =
+let do_abort st ~reason i =
   st.restarts <- st.restarts + 1;
+  if Obs.Sink.on st.sink then begin
+    Obs.Sink.record st.sink (Obs.Event.Aborted { tx = i; reason });
+    Obs.Sink.record st.sink (Obs.Event.Restarted { tx = i })
+  end;
   st.sched.Scheduler.on_abort i;
   (* every already-granted step must be requested again *)
   let granted = st.next_step.(i) in
   st.next_step.(i) <- 0;
   st.outstanding.(i) <- st.outstanding.(i) + granted;
-  for _ = 1 to granted do
-    submit_push st i st.clock
+  for k = 1 to granted do
+    submit_push st i st.clock;
+    if Obs.Sink.on st.sink then
+      Obs.Sink.record st.sink (Obs.Event.Submitted { tx = i; idx = k - 1 })
   done;
   st.incarnation.(i) <- st.incarnation.(i) + 1
 
 let do_grant st (id : Names.step_id) =
+  (* [Granted] is stamped at the decision instant, [Executed] one tick
+     later: the driver's clock tick is the grant being carried out, so
+     the trace shows one event of execution time per grant *)
+  if Obs.Sink.on st.sink then
+    Obs.Sink.record st.sink
+      (Obs.Event.Granted { tx = id.Names.tx; idx = id.Names.idx });
   st.sched.Scheduler.commit id;
   st.clock <- st.clock + 1;
+  Obs.Sink.set_now st.sink (float_of_int st.clock);
   st.grants <- st.grants + 1;
   let submitted = submit_pop st id.Names.tx in
   st.waiting <- st.waiting + (st.clock - 1 - submitted);
   st.next_step.(id.Names.tx) <- id.Names.idx + 1;
   st.outstanding.(id.Names.tx) <- st.outstanding.(id.Names.tx) - 1;
-  st.log <- (id, st.incarnation.(id.Names.tx)) :: st.log
+  st.log <- (id, st.incarnation.(id.Names.tx)) :: st.log;
+  if Obs.Sink.on st.sink then begin
+    Obs.Sink.record st.sink
+      (Obs.Event.Executed { tx = id.Names.tx; idx = id.Names.idx });
+    if completed st id.Names.tx then
+      Obs.Sink.record st.sink (Obs.Event.Committed { tx = id.Names.tx })
+  end
 
 (* Grant as many outstanding requests of [i] as possible. Returns true
    if at least one step was granted. *)
@@ -117,10 +138,13 @@ let try_drain st i =
       made_progress := true
     | Scheduler.Delay ->
       st.delays <- st.delays + 1;
+      if Obs.Sink.on st.sink then
+        Obs.Sink.record st.sink
+          (Obs.Event.Delayed { tx = i; idx = st.next_step.(i) });
       enqueue st i;
       continue := false
     | Scheduler.Abort ->
-      do_abort st i;
+      do_abort st ~reason:Obs.Event.Scheduler_abort i;
       (* retried on a later scan, after the transactions it yielded to *)
       dequeue st i;
       enqueue st i;
@@ -163,7 +187,7 @@ let resolve_stall st =
   match st.sched.Scheduler.victim stuck with
   | Some v ->
     st.deadlocks <- st.deadlocks + 1;
-    do_abort st v;
+    do_abort st ~reason:Obs.Event.Deadlock v;
     (* the victim yields: everyone it was blocking goes first *)
     dequeue st v;
     enqueue st v
@@ -173,18 +197,23 @@ let resolve_stall st =
          (Printf.sprintf "driver: scheduler %s cannot resolve a stall"
             st.sched.Scheduler.name))
 
-let run sched ~fmt ~arrivals =
-  let st = init sched fmt in
+let run ?(sink = Obs.Sink.null) sched ~fmt ~arrivals =
+  let st = init sched sink fmt in
   let total_arrivals = Array.length arrivals in
   Array.iter
     (fun i ->
       st.clock <- st.clock + 1;
+      Obs.Sink.set_now st.sink (float_of_int st.clock);
       if st.arrival_rank.(i) < 0 then begin
         st.arrival_rank.(i) <- st.arrived;
         st.arrived <- st.arrived + 1
       end;
       st.outstanding.(i) <- st.outstanding.(i) + 1;
       submit_push st i st.clock;
+      if Obs.Sink.on st.sink then
+        Obs.Sink.record st.sink
+          (Obs.Event.Submitted
+             { tx = i; idx = st.next_step.(i) + st.outstanding.(i) - 1 });
       if in_queue st i then ()
       else if try_drain st i then process_queue st)
     arrivals;

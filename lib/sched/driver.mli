@@ -41,9 +41,22 @@ exception Stall of string
     CLI in particular) can render a clean diagnostic instead of a
     backtrace. *)
 
-val run : Scheduler.t -> fmt:int array -> arrivals:int array -> stats
+val run :
+  ?sink:Obs.Sink.t -> Scheduler.t -> fmt:int array -> arrivals:int array ->
+  stats
 (** Raises {!Stall} if the scheduler cannot resolve a stall or the run
-    livelocks. *)
+    livelocks.
+
+    With a [sink], the full request lifecycle is recorded: [Submitted]
+    at each arrival (and at each replay after an abort), [Delayed] per
+    delay verdict (re-attempts included, mirroring [delays]), [Granted]
+    at the decision instant, [Executed] one clock tick later (the tick
+    {e is} the step's execution), [Committed] after a transaction's
+    final step, and [Aborted]/[Restarted] around each restart, with the
+    abort reason distinguishing scheduler-initiated aborts from
+    deadlock-victim kills. Folding the trace with {!Obs.Fold.counters}
+    reproduces the returned {!stats} exactly. The default no-op sink
+    costs one predictable branch per event — the hot path stays hot. *)
 
 val fixpoint_of : (unit -> Scheduler.t) -> int array -> Schedule.t list
 (** The empirical fixpoint set: every schedule of the format passed with

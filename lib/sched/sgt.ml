@@ -1,6 +1,6 @@
 open Core
 
-let create ~syntax =
+let create_traced ~sink ~syntax =
   let fmt = Syntax.format syntax in
   let n = Syntax.n_transactions syntax in
   (* Intern variable names once: the hot path is integer-only, no string
@@ -55,6 +55,10 @@ let create ~syntax =
     then begin
       blocked_idx.(tx) <- idx;
       blocked_at.(tx) <- !version;
+      (* only fresh graph searches emit: cached re-verdicts are answered
+         from the version stamp above without touching the graph *)
+      if Obs.Sink.on sink then
+        Obs.Sink.record sink (Obs.Event.Cycle_refused { tx; idx });
       Scheduler.Delay
     end
     else Scheduler.Grant
@@ -91,7 +95,9 @@ let create ~syntax =
     | u :: us ->
       if u <> tx then begin
         match Digraph.Acyclic.add_edge_acyclic graph u tx with
-        | Ok () -> ()
+        | Ok () ->
+          if Obs.Sink.on sink then
+            Obs.Sink.record sink (Obs.Event.Edge_added { src = u; dst = tx })
         | Error _ ->
           (* [attempt] vetted the whole batch; an edge cannot fail here *)
           assert false
@@ -122,3 +128,5 @@ let create ~syntax =
      the same conflicts and thrashes restarts a thousandfold on contended
      workloads, where the lazy policy pays a handful. *)
   Scheduler.make ~name:"SGT" ~attempt ~commit ~on_abort ()
+
+let create ~syntax = create_traced ~sink:Obs.Sink.null ~syntax

@@ -1,6 +1,6 @@
 open Core
 
-let create ~syntax =
+let create_traced ~sink ~syntax =
   let clock = ref 0 in
   let ts : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let watermark : (Names.var, int) Hashtbl.t = Hashtbl.create 16 in
@@ -16,7 +16,13 @@ let create ~syntax =
     let t = timestamp_of id.Names.tx in
     let v = Syntax.var syntax id in
     let w = try Hashtbl.find watermark v with Not_found -> 0 in
-    if t >= w then Scheduler.Grant else Scheduler.Abort
+    if t >= w then Scheduler.Grant
+    else begin
+      if Obs.Sink.on sink then
+        Obs.Sink.record sink
+          (Obs.Event.Ts_refused { tx = id.Names.tx; idx = id.Names.idx });
+      Scheduler.Abort
+    end
   in
   let commit (id : Names.step_id) =
     let t = timestamp_of id.Names.tx in
@@ -24,3 +30,5 @@ let create ~syntax =
   in
   let on_abort i = Hashtbl.remove ts i in
   Scheduler.make ~name:"TO" ~attempt ~commit ~on_abort ()
+
+let create ~syntax = create_traced ~sink:Obs.Sink.null ~syntax

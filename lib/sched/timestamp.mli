@@ -13,3 +13,7 @@ open Core
     its cost shows up entirely as restarts. *)
 
 val create : syntax:Syntax.t -> Scheduler.t
+
+val create_traced : sink:Obs.Sink.t -> syntax:Syntax.t -> Scheduler.t
+(** Like {!create}, but each watermark refusal (the verdict that
+    precedes an abort-and-restart) emits {!Obs.Event.Ts_refused}. *)

@@ -32,7 +32,7 @@ let wait_for_victim ~holders ~wanted blocked =
   | Some v -> Some v
   | None -> (match blocked with [] -> None | first :: _ -> Some first)
 
-let create ~policy ~syntax =
+let create_traced ~sink ~policy ~syntax =
   let locked = policy.Locking.Policy.apply syntax in
   let txs = locked.Locking.Locked.txs in
   let n = Array.length txs in
@@ -94,8 +94,16 @@ let create ~policy ~syntax =
   in
   let exec i s =
     (match s with
-    | Locking.Locked.Lock x -> Hashtbl.replace holder x i
-    | Locking.Locked.Unlock x -> if held_by i x then Hashtbl.remove holder x
+    | Locking.Locked.Lock x ->
+      Hashtbl.replace holder x i;
+      if Obs.Sink.on sink then
+        Obs.Sink.record sink (Obs.Event.Lock_acquired { tx = i; lock = x })
+    | Locking.Locked.Unlock x ->
+      if held_by i x then begin
+        Hashtbl.remove holder x;
+        if Obs.Sink.on sink then
+          Obs.Sink.record sink (Obs.Event.Lock_released { tx = i; lock = x })
+      end
     | Locking.Locked.Action _ -> ());
     position.(i) <- position.(i) + 1
   in
@@ -131,18 +139,31 @@ let create ~policy ~syntax =
       (fun _ j -> if j = i then None else Some j)
       holder
   in
+  let wound = function
+    | Some v as r ->
+      if Obs.Sink.on sink then
+        Obs.Sink.record sink (Obs.Event.Wound { victim = v });
+      r
+    | None -> None
+  in
   let victim blocked =
-    wait_for_victim
-      ~holders:(fun x -> Hashtbl.find_opt holder x)
-      ~wanted:blocking_lock blocked
+    wound
+      (wait_for_victim
+         ~holders:(fun x -> Hashtbl.find_opt holder x)
+         ~wanted:blocking_lock blocked)
   in
   let detect blocked =
-    cycle_victim
-      ~holders:(fun x -> Hashtbl.find_opt holder x)
-      ~wanted:blocking_lock (List.map fst blocked)
+    wound
+      (cycle_victim
+         ~holders:(fun x -> Hashtbl.find_opt holder x)
+         ~wanted:blocking_lock (List.map fst blocked))
   in
   Scheduler.make
     ~name:("LRS[" ^ policy.Locking.Policy.name ^ "]")
     ~attempt ~commit ~on_abort ~victim ~detect ()
 
+let create ~policy ~syntax = create_traced ~sink:Obs.Sink.null ~policy ~syntax
 let create_2pl ~syntax = create ~policy:Locking.Two_phase.policy ~syntax
+
+let create_2pl_traced ~sink ~syntax =
+  create_traced ~sink ~policy:Locking.Two_phase.policy ~syntax

@@ -19,6 +19,15 @@ val create : policy:Locking.Policy.t -> syntax:Syntax.t -> Scheduler.t
 
 val create_2pl : syntax:Syntax.t -> Scheduler.t
 
+val create_traced :
+  sink:Obs.Sink.t -> policy:Locking.Policy.t -> syntax:Syntax.t ->
+  Scheduler.t
+(** Like {!create}, but lock acquisitions/releases emit
+    {!Obs.Event.Lock_acquired}/{!Obs.Event.Lock_released} and each
+    named wait-for-cycle victim emits {!Obs.Event.Wound}. *)
+
+val create_2pl_traced : sink:Obs.Sink.t -> syntax:Syntax.t -> Scheduler.t
+
 val wait_for_victim :
   holders:(Locking.Locked.lock_var -> int option) ->
   wanted:(int -> Locking.Locked.lock_var option) ->

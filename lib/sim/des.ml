@@ -37,7 +37,7 @@ type tx_stats = {
 
 let exponential st rate = -.log (1. -. Random.State.float st 1.) /. rate
 
-let run params ~syntax ~scheduler =
+let run ?(sink = Obs.Sink.null) params ~syntax ~scheduler =
   let fmt = Syntax.format syntax in
   let n = Array.length fmt in
   let sched = scheduler () in
@@ -73,7 +73,12 @@ let run params ~syntax ~scheduler =
   let sched_free = ref 0. in
   let done_count = ref 0 in
   let makespan = ref 0. in
-  let submit tx time = Queue.add (tx, time) queue in
+  let submit tx time =
+    if Obs.Sink.on sink then
+      Obs.Sink.record_at sink time
+        (Obs.Event.Submitted { tx; idx = next_step.(tx) });
+    Queue.add (tx, time) queue
+  in
   (* parked requests wait until a grant changes the state; the parked
      span is the paper's waiting time *)
   let unpark now =
@@ -108,6 +113,11 @@ let run params ~syntax ~scheduler =
     incr deadlocks;
     incr restarts;
     tx_restarts.(v) <- tx_restarts.(v) + 1;
+    if Obs.Sink.on sink then begin
+      Obs.Sink.record_at sink now
+        (Obs.Event.Aborted { tx = v; reason = Obs.Event.Deadlock });
+      Obs.Sink.record_at sink now (Obs.Event.Restarted { tx = v })
+    end;
     sched.Sched.Scheduler.on_abort v;
     next_step.(v) <- 0;
     let keep = Queue.create () in
@@ -139,14 +149,23 @@ let run params ~syntax ~scheduler =
     stats.(tx).scheduling <-
       stats.(tx).scheduling +. (start -. submitted) +. params.sched_time;
     let id = Names.step tx next_step.(tx) in
+    (* scheduler-internal emissions (edges, locks, wounds) happen during
+       [attempt]/[commit]/[detect]; stamp them with the decision time *)
+    Obs.Sink.set_now sink decided;
     match sched.Sched.Scheduler.attempt id with
     | Sched.Scheduler.Grant ->
+      if Obs.Sink.on sink then
+        Obs.Sink.record_at sink decided
+          (Obs.Event.Granted { tx; idx = next_step.(tx) });
       sched.Sched.Scheduler.commit id;
       next_step.(tx) <- next_step.(tx) + 1;
       stats.(tx).execution <- stats.(tx).execution +. params.exec_time;
       add_event (decided +. params.exec_time) (`Step_done tx);
       unpark decided
     | Sched.Scheduler.Delay -> (
+      if Obs.Sink.on sink then
+        Obs.Sink.record_at sink decided
+          (Obs.Event.Delayed { tx; idx = next_step.(tx) });
       Queue.add (tx, decided) parked;
       (* eager deadlock detection: do not let a doomed request sit in
          the parked list until the end of the run *)
@@ -156,6 +175,11 @@ let run params ~syntax ~scheduler =
     | Sched.Scheduler.Abort ->
       incr restarts;
       tx_restarts.(tx) <- tx_restarts.(tx) + 1;
+      if Obs.Sink.on sink then begin
+        Obs.Sink.record_at sink decided
+          (Obs.Event.Aborted { tx; reason = Obs.Event.Scheduler_abort });
+        Obs.Sink.record_at sink decided (Obs.Event.Restarted { tx })
+      end;
       sched.Sched.Scheduler.on_abort tx;
       next_step.(tx) <- 0;
       (* restart with backoff: without it, two timestamp-ordered
@@ -181,6 +205,7 @@ let run params ~syntax ~scheduler =
           Queue.fold (fun acc (tx, _) -> tx :: acc) [] parked
           |> List.rev |> by_seniority
         in
+        Obs.Sink.set_now sink !sched_free;
         match sched.Sched.Scheduler.victim blocked with
         | None ->
           raise
@@ -209,15 +234,22 @@ let run params ~syntax ~scheduler =
           if fmt.(tx) = 0 then begin
             stats.(tx).completion <- te;
             makespan := Float.max !makespan te;
-            incr done_count
+            incr done_count;
+            if Obs.Sink.on sink then
+              Obs.Sink.record_at sink te (Obs.Event.Committed { tx })
           end
           else submit tx te
         | `Resubmit tx -> submit tx te
         | `Step_done tx ->
+          if Obs.Sink.on sink then
+            Obs.Sink.record_at sink te
+              (Obs.Event.Executed { tx; idx = next_step.(tx) - 1 });
           if next_step.(tx) >= fmt.(tx) then begin
             stats.(tx).completion <- te;
             makespan := Float.max !makespan te;
-            incr done_count
+            incr done_count;
+            if Obs.Sink.on sink then
+              Obs.Sink.record_at sink te (Obs.Event.Committed { tx })
           end
           else submit tx te));
       loop ()

@@ -36,14 +36,26 @@ type result = {
 }
 
 val run :
+  ?sink:Obs.Sink.t ->
   params ->
   syntax:Core.Syntax.t ->
   scheduler:(unit -> Sched.Scheduler.t) ->
   result
 (** Simulates every transaction of the syntax exactly once (arrivals in
     transaction order at Poisson instants). The decomposition satisfies
-    [latency ≈ scheduling + waiting + execution] per transaction.
+    [latency ≈ scheduling + waiting + exec] per transaction.
     Raises {!Sched.Driver.Stall} if the scheduler cannot resolve a
-    stall. *)
+    stall.
+
+    With a [sink], the full request lifecycle is emitted at virtual
+    time: [Submitted] at each (re)submission, [Granted]/[Delayed] at
+    the decision instant, [Aborted]+[Restarted] on scheduler aborts
+    (reason [Scheduler_abort]) and deadlock victims (reason
+    [Deadlock]), [Executed] when a step's execution completes and
+    [Committed] at transaction completion. On the folded trace,
+    [Fold.counters] reproduces [restarts], [deadlocks] and a commit
+    per transaction exactly. Emission order follows simulation
+    causality, but [Executed] timestamps interleave with later
+    decisions — sort by timestamp before exporting. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -15,6 +15,11 @@ type row = {
   avg_restarts : float;
   avg_deadlocks : float;
   avg_grants : float;
+  avg_sched_span : float;
+      (** §6 decomposition (event-clock units, per history, summed over
+          transactions): time attributed to scheduling … *)
+  avg_wait_span : float;   (** … to being parked by [Delay] verdicts … *)
+  avg_exec_span : float;   (** … and to executing granted steps. *)
 }
 
 val exact_fixpoint_count : (unit -> Sched.Scheduler.t) -> int array -> int
@@ -27,7 +32,9 @@ val sample :
   samples:int ->
   seed:int ->
   row
-(** Monte-Carlo over uniformly random arrival histories. *)
+(** Monte-Carlo over uniformly random arrival histories. Each run is
+    traced into an in-memory sink and its event stream folded into the
+    §6 span decomposition ([avg_*_span]). *)
 
 val compare_schedulers :
   (string * (unit -> Sched.Scheduler.t)) list ->
@@ -36,9 +43,12 @@ val compare_schedulers :
   seed:int ->
   row list
 
-val standard_suite : Syntax.t -> (string * (unit -> Sched.Scheduler.t)) list
+val standard_suite :
+  ?sink:Obs.Sink.t -> Syntax.t -> (string * (unit -> Sched.Scheduler.t)) list
 (** serial, 2PL, 2PL′(first variable), preclaim, SGT and TO over a
-    syntax. *)
+    syntax. With a [sink], every non-serial scheduler is built traced,
+    emitting its internal events (edges, locks, wounds, refusals)
+    there. *)
 
 val pp_rows : Format.formatter -> row list -> unit
 (** An aligned text table. *)

@@ -14,6 +14,8 @@ let () =
       ("sched", Test_sched.suite);
       ("sgt-diff", Test_sgt_diff.suite);
       ("sim", Test_sim.suite);
+      ("obs", Test_obs.suite);
+      ("trace", Test_trace.suite);
       ("optimality", Test_optimality.suite);
       ("rw-model", Test_rw.suite);
       ("extensions", Test_extensions.suite);

@@ -1,0 +1,216 @@
+(* Property tests for the observability primitives in [lib/obs]:
+   histogram conservation and merge algebra, the §6 span invariant, and
+   the ring-buffer drop accounting against a list model. *)
+
+open Util
+
+(* ---------- histograms ---------- *)
+
+let hist_of values =
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.add h) values;
+  h
+
+let small_values_gen =
+  QCheck.Gen.(list_size (int_range 0 40) (int_range 0 10_000))
+
+let small_values = QCheck.make small_values_gen
+
+let prop_hist_conservation =
+  QCheck.Test.make ~count:200 ~name:"hist: count and total conserved"
+    small_values (fun vs ->
+      let h = hist_of vs in
+      Obs.Hist.count h = List.length vs
+      && Obs.Hist.total h = List.fold_left ( + ) 0 vs
+      && List.fold_left (fun acc (_, _, c) -> acc + c) 0 (Obs.Hist.buckets h)
+         = List.length vs)
+
+let prop_hist_buckets =
+  QCheck.Test.make ~count:500 ~name:"hist: bucket bounds contain the value"
+    (QCheck.make (QCheck.Gen.int_range 0 (1 lsl 40)))
+    (fun v ->
+      let k = Obs.Hist.bucket_of v in
+      let lo, hi = Obs.Hist.bounds k in
+      lo <= v && v <= hi && Obs.Hist.bucket_of (v + 1) >= k)
+
+let prop_hist_merge =
+  QCheck.Test.make ~count:200 ~name:"hist: merge commutative and associative"
+    QCheck.(triple small_values small_values small_values)
+    (fun (a, b, c) ->
+      let ha = hist_of a and hb = hist_of b and hc = hist_of c in
+      Obs.Hist.equal (Obs.Hist.merge ha hb) (Obs.Hist.merge hb ha)
+      && Obs.Hist.equal
+           (Obs.Hist.merge (Obs.Hist.merge ha hb) hc)
+           (Obs.Hist.merge ha (Obs.Hist.merge hb hc))
+      && Obs.Hist.equal (Obs.Hist.merge ha hb) (hist_of (a @ b)))
+
+let prop_hist_quantile =
+  QCheck.Test.make ~count:300 ~name:"hist: quantile upper-bounds the value"
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 1 40) (int_range 0 10_000))
+           (float_range 0. 1.)))
+    (fun (vs, q) ->
+      let h = hist_of vs in
+      let sorted = List.sort compare vs in
+      let n = List.length vs in
+      let target =
+        max 1 (int_of_float (ceil (q *. float_of_int n)))
+      in
+      let exact = List.nth sorted (target - 1) in
+      match Obs.Hist.quantile h q with
+      | None -> false
+      | Some ub ->
+        ub >= exact && (if exact = 0 then ub = 0 else ub <= (2 * exact) - 1))
+
+let test_hist_empty () =
+  let h = Obs.Hist.create () in
+  check_int "empty count" 0 (Obs.Hist.count h);
+  check_true "empty mean" (Obs.Hist.mean h = 0.);
+  check_true "empty quantile" (Obs.Hist.quantile h 0.5 = None);
+  check_true "negative add rejected"
+    (try
+       Obs.Hist.add h (-1);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- spans ---------- *)
+
+let phase_of_int = function
+  | 0 -> Obs.Span.Scheduling
+  | 1 -> Obs.Span.Waiting
+  | _ -> Obs.Span.Executing
+
+let prop_span_invariant =
+  (* arbitrary phase walks with integer-valued clocks: the decomposition
+     tiles the timeline, so the invariant is exact, not approximate *)
+  QCheck.Test.make ~count:300
+    ~name:"span: scheduling + waiting + execution = elapsed"
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 1 30) (pair (int_range 0 5) (int_range 0 2))))
+    (fun walk ->
+      let sp = Obs.Span.create 1 in
+      let now = ref 0. in
+      List.iter
+        (fun (dt, ph) ->
+          now := !now +. float_of_int dt;
+          Obs.Span.enter sp 0 ~now:!now (phase_of_int ph))
+        walk;
+      now := !now +. 1.;
+      Obs.Span.finish sp 0 ~now:!now;
+      let b = Obs.Span.breakdown sp 0 in
+      b.Obs.Span.scheduling +. b.Obs.Span.waiting +. b.Obs.Span.execution
+      = b.Obs.Span.elapsed)
+
+let test_span_edges () =
+  let sp = Obs.Span.create 2 in
+  check_true "unstarted" (not (Obs.Span.started sp 0));
+  let b = Obs.Span.breakdown sp 0 in
+  check_true "unstarted all zero"
+    (b.Obs.Span.scheduling = 0. && b.Obs.Span.elapsed = 0.);
+  Obs.Span.enter sp 0 ~now:3. Obs.Span.Scheduling;
+  Obs.Span.enter sp 0 ~now:5. Obs.Span.Executing;
+  Obs.Span.finish sp 0 ~now:9.;
+  let b = Obs.Span.breakdown sp 0 in
+  check_true "scheduling credited" (b.Obs.Span.scheduling = 2.);
+  check_true "execution credited" (b.Obs.Span.execution = 4.);
+  check_true "elapsed from first enter" (b.Obs.Span.elapsed = 6.);
+  check_true "backwards clock rejected"
+    (try
+       Obs.Span.enter sp 1 ~now:1. Obs.Span.Scheduling;
+       Obs.Span.enter sp 1 ~now:0. Obs.Span.Waiting;
+       false
+     with Invalid_argument _ -> true);
+  check_true "finished span frozen"
+    (try
+       Obs.Span.enter sp 0 ~now:10. Obs.Span.Waiting;
+       false
+     with Invalid_argument _ -> true);
+  (* totals sums per-transaction breakdowns *)
+  let t = Obs.Span.totals sp in
+  check_true "totals include both" (t.Obs.Span.scheduling >= 2.)
+
+(* ---------- sinks ---------- *)
+
+let ev i = Obs.Event.Submitted { tx = i; idx = 0 }
+
+let test_null_sink () =
+  check_true "null is off" (not (Obs.Sink.on Obs.Sink.null));
+  (* all operations are no-ops *)
+  Obs.Sink.set_now Obs.Sink.null 5.;
+  Obs.Sink.record Obs.Sink.null (ev 0);
+  Obs.Sink.record_at Obs.Sink.null 3. (ev 1)
+
+let test_memory_sink () =
+  let c = Obs.Sink.Memory.create () in
+  let sink = Obs.Sink.Memory.sink c in
+  check_true "memory is on" (Obs.Sink.on sink);
+  Obs.Sink.set_now sink 1.;
+  Obs.Sink.record sink (ev 0);
+  Obs.Sink.record_at sink 7. (ev 1);
+  Obs.Sink.set_now sink 9.;
+  Obs.Sink.record sink (ev 2);
+  check_int "memory length" 3 (Obs.Sink.Memory.length c);
+  check_true "emission order with timestamps"
+    (Obs.Sink.Memory.events c = [ (1., ev 0); (7., ev 1); (9., ev 2) ]);
+  Obs.Sink.Memory.clear c;
+  check_int "cleared" 0 (Obs.Sink.Memory.length c)
+
+let prop_ring_model =
+  (* fixed-capacity ring vs a list model: keeps the latest [capacity]
+     emissions in order and counts exactly the overwritten rest *)
+  QCheck.Test.make ~count:300 ~name:"ring: differential vs list model"
+    (QCheck.make QCheck.Gen.(pair (int_range 1 16) (int_range 0 64)))
+    (fun (capacity, pushes) ->
+      let buf = Obs.Sink.Ring.create ~capacity in
+      let sink = Obs.Sink.Ring.sink buf in
+      let model = ref [] in
+      for i = 1 to pushes do
+        Obs.Sink.record_at sink (float_of_int i) (ev i);
+        model := (float_of_int i, ev i) :: !model
+      done;
+      let keep = min pushes capacity in
+      let expect =
+        List.rev
+          (List.filteri (fun k _ -> k < keep) !model)
+      in
+      Obs.Sink.Ring.events buf = expect
+      && Obs.Sink.Ring.length buf = keep
+      && Obs.Sink.Ring.dropped buf = max 0 (pushes - capacity)
+      && Obs.Sink.Ring.capacity buf = capacity)
+
+let test_ring_clear () =
+  let buf = Obs.Sink.Ring.create ~capacity:2 in
+  let sink = Obs.Sink.Ring.sink buf in
+  for i = 1 to 5 do
+    Obs.Sink.record_at sink (float_of_int i) (ev i)
+  done;
+  check_int "dropped before clear" 3 (Obs.Sink.Ring.dropped buf);
+  Obs.Sink.Ring.clear buf;
+  check_int "cleared length" 0 (Obs.Sink.Ring.length buf);
+  check_int "cleared dropped" 0 (Obs.Sink.Ring.dropped buf);
+  check_true "bad capacity rejected"
+    (try
+       ignore (Obs.Sink.Ring.create ~capacity:0);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "hist empty and errors" `Quick test_hist_empty;
+    Alcotest.test_case "span edge cases" `Quick test_span_edges;
+    Alcotest.test_case "null sink" `Quick test_null_sink;
+    Alcotest.test_case "memory sink" `Quick test_memory_sink;
+    Alcotest.test_case "ring clear and errors" `Quick test_ring_clear;
+  ]
+  @ qsuite
+      [
+        prop_hist_conservation;
+        prop_hist_buckets;
+        prop_hist_merge;
+        prop_hist_quantile;
+        prop_span_invariant;
+        prop_ring_model;
+      ]
