@@ -23,13 +23,13 @@ let make_tests () =
       scheduler_run_test "driver/serial"
         (fun () -> Sched.Serial_sched.create ~fmt)
         fmt arrivals;
-      scheduler_run_test "driver/SGT" (fun () -> Sched.Sgt.create ~syntax) fmt
+      scheduler_run_test "driver/SGT" (fun () -> Sched.Sgt.create ~syntax ()) fmt
         arrivals;
       scheduler_run_test "driver/2PL"
-        (fun () -> Sched.Tpl_sched.create_2pl ~syntax)
+        (fun () -> Sched.Tpl_sched.create_2pl ~syntax ())
         fmt arrivals;
       scheduler_run_test "driver/TO"
-        (fun () -> Sched.Timestamp.create ~syntax)
+        (fun () -> Sched.Timestamp.create ~syntax ())
         fmt arrivals;
     ]
   in

@@ -65,7 +65,7 @@ let t3 () =
   (* (b) SGT realises the optimal syntactic scheduler *)
   let syntax = Syntax.of_lists [ [ "x"; "y" ]; [ "y"; "x" ] ] in
   let fmt = Syntax.format syntax in
-  let fp = Sched.Driver.fixpoint_of (fun () -> Sched.Sgt.create ~syntax) fmt in
+  let fp = Sched.Driver.fixpoint_of (fun () -> Sched.Sgt.create ~syntax ()) fmt in
   let sr = Fixpoint.sr_only syntax in
   Printf.printf "\nSGT fixpoint = SR(T) on (x,y)/(y,x): %b (%d schedules)\n"
     (Fixpoint.subset fp sr && Fixpoint.subset sr fp)

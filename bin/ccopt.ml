@@ -19,7 +19,20 @@ open Core
 let parse_syntax = Analysis.Analyze.parse_syntax
 let parse_interleaving = Analysis.Analyze.parse_interleaving
 let policy_of_name = Analysis.Analyze.policy_of_name
-let scheduler_of_name = Analysis.Analyze.scheduler_of_name
+
+(* Unknown scheduler names are a usage error (exit 1 with the registry
+   listing), not an internal invariant failure (exit 2). *)
+let registry_entry name =
+  match Sched.Registry.find name with
+  | Some e -> e
+  | None ->
+    Printf.eprintf "ccopt: unknown scheduler %s (have: %s)\n" name
+      (String.concat ", " Sched.Registry.names);
+    exit 1
+
+let scheduler_of_name syntax name =
+  let e = registry_entry name in
+  fun () -> e.Sched.Registry.make syntax
 
 (* ---------- subcommand bodies ---------- *)
 
@@ -127,7 +140,18 @@ let parse_sizes spec =
       | _ -> invalid_arg ("bad size " ^ cell ^ " in --sizes (want NxM)"))
     (String.split_on_char ',' spec)
 
-let bench sizes mixes n_vars streams min_time seed smoke json out =
+let parse_ints spec =
+  List.filter_map
+    (fun s ->
+      if s = "" then None
+      else
+        match int_of_string_opt s with
+        | Some k when k > 0 -> Some k
+        | _ -> invalid_arg ("bad shard count " ^ s ^ " in --shards"))
+    (String.split_on_char ',' spec)
+
+let bench sizes mixes n_vars streams min_time seed smoke json out shards
+    shard_sizes =
   let spec =
     if smoke then Sim.Sched_bench.smoke
     else
@@ -138,6 +162,9 @@ let bench sizes mixes n_vars streams min_time seed smoke json out =
         streams;
         min_time;
         seed;
+        shard_ks = parse_ints shards;
+        shard_sizes = parse_sizes shard_sizes;
+        shard_mixes = Sim.Sched_bench.default.Sim.Sched_bench.shard_mixes;
       }
   in
   let rows = Sim.Sched_bench.run spec in
@@ -168,6 +195,8 @@ let trace spec sched_names seed capacity samples json out =
     | Some names ->
       List.filter (fun s -> s <> "") (String.split_on_char ',' names)
   in
+  (* validate up front: unknown names are a usage error, exit 1 *)
+  List.iter (fun name -> ignore (registry_entry name)) only;
   let tspec =
     {
       Sim.Trace_run.label = spec;
@@ -260,7 +289,9 @@ let schedule_run_cmd =
   let sched =
     Arg.(
       value & opt string "sgt"
-      & info [ "scheduler" ] ~doc:"serial, sgt, 2pl or to.")
+      & info [ "scheduler" ]
+          ~doc:
+            ("One of " ^ String.concat ", " Sched.Registry.names ^ "."))
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"drive an online scheduler over a stream")
@@ -369,12 +400,35 @@ let bench_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE" ~doc:"Write the report to a file.")
   in
+  let shards =
+    let default =
+      String.concat "," (List.map string_of_int d.Sim.Sched_bench.shard_ks)
+    in
+    Arg.(
+      value & opt string default
+      & info [ "shards" ] ~docv:"K,.."
+          ~doc:"Shard counts for the sharded-engine section (sharded vs \
+                monolithic SGT); empty disables the section.")
+  in
+  let shard_sizes =
+    let default =
+      String.concat ","
+        (List.map
+           (fun (n, m) -> Printf.sprintf "%dx%d" n m)
+           d.Sim.Sched_bench.shard_sizes)
+    in
+    Arg.(
+      value & opt string default
+      & info [ "shard-sizes" ] ~docv:"NxM,.."
+          ~doc:"Workload sizes of the sharded-engine section.")
+  in
   Cmd.v
     (Cmd.info "bench"
-       ~doc:"scheduler micro-benchmark (requests/sec, incl. SGT vs SGT-ref)")
+       ~doc:"scheduler micro-benchmark (requests/sec, incl. SGT vs SGT-ref \
+             and sharded vs monolithic SGT)")
     Term.(
       const bench $ sizes $ mixes $ n_vars $ streams $ min_time $ seed $ smoke
-      $ json $ out)
+      $ json $ out $ shards $ shard_sizes)
 
 let trace_cmd =
   let sched =
@@ -382,8 +436,10 @@ let trace_cmd =
       value
       & opt (some string) None
       & info [ "scheduler" ] ~docv:"NAMES"
-          ~doc:"Comma-separated subset of the suite (serial, 2pl, \
-                2pl-prime, preclaim, sgt, to); default: all.")
+          ~doc:
+            ("Comma-separated registered schedulers ("
+            ^ String.concat ", " Sched.Registry.names
+            ^ "); default: the standard suite."))
   in
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Arrival-stream seed.")

@@ -64,7 +64,7 @@ let () =
   hr "certifying the SGT scheduler (Theorem 1 bound)";
   let diags =
     Analysis.Certifier.certify ~name:"sgt"
-      ~make:(fun () -> Sched.Sgt.create ~syntax)
+      ~make:(fun () -> Sched.Sgt.create ~syntax ())
       ~level:Analysis.Certifier.Syntactic syntax
   in
   List.iter

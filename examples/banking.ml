@@ -62,7 +62,7 @@ let () =
   (* 4. The SGT scheduler repairs the racy arrival order. *)
   let stats =
     Sched.Driver.run
-      (Sched.Sgt.create ~syntax:sys.System.syntax)
+      (Sched.Sgt.create ~syntax:sys.System.syntax ())
       ~fmt
       ~arrivals:(Schedule.to_interleaving race)
   in

@@ -29,7 +29,7 @@ let () =
 
   (* The optimal syntactic scheduler must delay. *)
   let sgt =
-    Sched.Driver.run (Sched.Sgt.create ~syntax:sys.System.syntax) ~fmt ~arrivals
+    Sched.Driver.run (Sched.Sgt.create ~syntax:sys.System.syntax ()) ~fmt ~arrivals
   in
   Format.printf "SGT: output %s, delays %d@."
     (Schedule.to_string sgt.Sched.Driver.output)

@@ -37,7 +37,7 @@ let () =
   (* Drive the optimal syntactic scheduler (SGT) over a request stream. *)
   let arrivals = [| 0; 1; 0 |] in
   let stats =
-    Sched.Driver.run (Sched.Sgt.create ~syntax) ~fmt ~arrivals
+    Sched.Driver.run (Sched.Sgt.create ~syntax ()) ~fmt ~arrivals
   in
   Format.printf "SGT over arrivals 0,1,0: output %s, delays %d, zero-delay %b@."
     (Schedule.to_string stats.Sched.Driver.output)

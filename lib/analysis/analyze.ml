@@ -34,15 +34,9 @@ let policy_of_name = function
   | name ->
     invalid_arg ("unknown policy " ^ name ^ " (2pl, 2pl', preclaim, mutex)")
 
-let scheduler_of_name syntax = function
-  | "serial" -> fun () -> Sched.Serial_sched.create ~fmt:(Syntax.format syntax)
-  | "sgt" -> fun () -> Sched.Sgt.create ~syntax
-  | "sgt-ref" -> fun () -> Sched.Sgt_ref.create ~syntax
-  | "2pl" -> fun () -> Sched.Tpl_sched.create_2pl ~syntax
-  | "to" -> fun () -> Sched.Timestamp.create ~syntax
-  | name ->
-    invalid_arg
-      ("unknown scheduler " ^ name ^ " (serial, sgt, sgt-ref, 2pl, to)")
+let scheduler_of_name syntax name =
+  let e = Sched.Registry.find_exn name in
+  fun () -> e.Sched.Registry.make syntax
 
 let certifier_level = function
   | "serial" -> Certifier.Format_only

@@ -35,11 +35,13 @@ val policy_of_name : string -> Locking.Policy.t
 (** [2pl], [2pl'] (alias [2plprime]), [preclaim], [mutex]. *)
 
 val scheduler_of_name : Syntax.t -> string -> unit -> Sched.Scheduler.t
-(** [serial], [sgt], [2pl], [to] — fresh instances. *)
+(** Fresh instances via {!Sched.Registry.find_exn} (any registered name
+    or slug, case-insensitive); raises [Invalid_argument] listing
+    {!Sched.Registry.names} on an unknown one. *)
 
 val certifier_level : string -> Certifier.level
 (** The information level each named scheduler operates at: [serial] is
-    format-only; [sgt], [2pl] and [to] are syntactic. *)
+    format-only; everything else is syntactic. *)
 
 val syntax_string : Syntax.t -> string
 (** Render a syntax back to the [--syntax] notation when every variable

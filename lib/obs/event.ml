@@ -14,6 +14,7 @@ type t =
   | Lock_released of { tx : int; lock : string }
   | Wound of { victim : int }
   | Ts_refused of { tx : int; idx : int }
+  | Shard_routed of { tx : int; idx : int; shard : int }
 
 let tx = function
   | Submitted { tx; _ }
@@ -27,7 +28,7 @@ let tx = function
   | Lock_acquired { tx; _ }
   | Lock_released { tx; _ }
   | Ts_refused { tx; _ } -> Some tx
-  | Edge_added _ | Wound _ -> None
+  | Edge_added _ | Wound _ | Shard_routed _ -> None
 
 let pp ppf = function
   | Submitted { tx; idx } -> Format.fprintf ppf "submit T%d.%d" (tx + 1) idx
@@ -51,5 +52,7 @@ let pp ppf = function
   | Wound { victim } -> Format.fprintf ppf "wound T%d" (victim + 1)
   | Ts_refused { tx; idx } ->
     Format.fprintf ppf "ts-refused T%d.%d" (tx + 1) idx
+  | Shard_routed { tx; idx; shard } ->
+    Format.fprintf ppf "shard T%d.%d->S%d" (tx + 1) idx shard
 
 let to_string ev = Format.asprintf "%a" pp ev

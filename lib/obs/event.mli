@@ -39,10 +39,14 @@ type t =
       (** a lock scheduler named a wait-for-cycle victim *)
   | Ts_refused of { tx : int; idx : int }
       (** timestamp-ordering watermark refusal (leads to an abort) *)
+  | Shard_routed of { tx : int; idx : int; shard : int }
+      (** the sharded engine routed a fresh request for [tx.idx] to
+          shard [shard] (cached delay re-verdicts stay silent) *)
 
 val tx : t -> int option
 (** The transaction a lifecycle event belongs to; [None] for
-    {!Edge_added} and {!Wound}, which concern the scheduler itself. *)
+    {!Edge_added}, {!Wound} and {!Shard_routed}, which concern the
+    scheduler itself (they export on the scheduler track, track 0). *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

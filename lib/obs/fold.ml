@@ -77,7 +77,8 @@ let counters events =
           }
       | Committed _ -> c := { !c with commits = !c.commits + 1 }
       | Executed _ | Restarted _ | Edge_added _ | Cycle_refused _
-      | Lock_acquired _ | Lock_released _ | Wound _ | Ts_refused _ -> ())
+      | Lock_acquired _ | Lock_released _ | Wound _ | Ts_refused _
+      | Shard_routed _ -> ())
     events;
   !c
 
@@ -101,7 +102,7 @@ let spans ~n events =
            carries no span information *)
         if Span.started sp tx then Span.finish sp tx ~now:ts
       | Restarted _ | Edge_added _ | Cycle_refused _ | Lock_acquired _
-      | Lock_released _ | Wound _ | Ts_refused _ -> ())
+      | Lock_released _ | Wound _ | Ts_refused _ | Shard_routed _ -> ())
     events;
   sp
 

@@ -106,7 +106,11 @@ let entries events =
       | Ts_refused { tx; idx } ->
         push
           (instant ~cat:internal ~ts ~tid:(tx + 1) "ts-refused"
-             [ ("step", Int idx) ]))
+             [ ("step", Int idx) ])
+      | Shard_routed { tx; idx; shard } ->
+        push
+          (instant ~cat:internal ~ts ~tid:0 "shard-routed"
+             [ ("tx", Int (tx + 1)); ("step", Int idx); ("shard", Int shard) ]))
     events;
   (* a truncated trace (ring overflow) may leave spans open: close them
      so every B has its E *)

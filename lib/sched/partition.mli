@@ -1,0 +1,56 @@
+open Core
+
+(** Variable partitioning for the sharded scheduling engine.
+
+    A partition assigns every variable of a syntax to one of [shards]
+    shards by a deterministic hash, and precomputes everything the
+    {!Sharded} engine needs on its integer-only hot path: the shard and
+    shard-local variable id of every step, each transaction's shard
+    bitmask, shard membership lists, and a dense numbering of the
+    {e cross-shard} transactions (those touching two or more shards) for
+    the coordinator graph.
+
+    Because a conflict edge joins two accessors of the {e same}
+    variable, every conflict edge lives in exactly one shard; a
+    transaction whose variables all hash to one shard ([home]) has all
+    its edges there and needs no cross-shard coordination at all — the
+    coordination-avoidance reading of the paper's conflict geometry. *)
+
+type t = {
+  shards : int;  (** number of shards K, [1 <= K <= 62] *)
+  n : int;  (** number of transactions *)
+  shard_of_step : int array array;
+      (** [shard_of_step.(tx).(idx)]: the shard owning that step's
+          variable *)
+  lvar_of_step : int array array;
+      (** shard-local variable id of the step (interned per shard) *)
+  mask : int array;
+      (** per-transaction bitmask of touched shards (bit [s] set iff the
+          transaction accesses a variable of shard [s]); [0] for an
+          empty transaction *)
+  home : int array;
+      (** the single shard of a single-shard transaction; [-1] for
+          cross-shard and empty transactions *)
+  cross : bool array;  (** touches two or more shards *)
+  n_cross : int;  (** number of cross-shard transactions *)
+  cross_id : int array;
+      (** dense coordinator-local id of a cross-shard transaction
+          (ascending in the global id); [-1] otherwise *)
+  members : int array array;
+      (** [members.(s)]: global ids of the transactions touching shard
+          [s], ascending — the shard-local id space *)
+  local_id : int array array;
+      (** [local_id.(s).(tx)]: shard-local id of [tx] in shard [s];
+          [-1] if [tx] does not touch [s] *)
+  n_lvars : int array;  (** distinct variables per shard *)
+}
+
+val shard_of_var : shards:int -> Names.var -> int
+(** The deterministic variable-to-shard hash ([Hashtbl.hash mod K]). *)
+
+val make : syntax:Syntax.t -> shards:int -> t
+(** Raises [Invalid_argument] unless [1 <= shards <= 62] (shard sets are
+    represented as bits of one OCaml [int]). *)
+
+val cross_fraction : t -> float
+(** Fraction of non-empty transactions that are cross-shard. *)

@@ -1,0 +1,44 @@
+open Core
+
+(** The central scheduler registry: one table mapping names to
+    constructors, shared by every front end ([ccopt], the measurement
+    suite, the trace runner) so a new engine is registered once and
+    shows up everywhere.
+
+    Every entry carries the canonical display name (as printed in
+    tables, e.g. ["2PL'"]), a CLI-safe slug (e.g. ["2pl-prime"]), a
+    [standard] flag marking membership in the standard measurement
+    suite, and the constructor. Lookup is case-insensitive on either
+    the name or the slug. *)
+
+type entry = {
+  name : string;  (** canonical display name *)
+  slug : string;  (** CLI-safe lookup key, {!slug_of_name} of [name] *)
+  standard : bool;  (** member of the standard measurement suite *)
+  make : ?sink:Obs.Sink.t -> Syntax.t -> Scheduler.t;
+      (** fresh instance over a syntax; the positional [Syntax.t]
+          erases the optional sink (warning-16 rule, see {!Scheduler}) *)
+}
+
+val slug_of_name : string -> string
+(** Lowercases, turns ['] into ["-prime"], collapses runs of other
+    separators into single dashes. *)
+
+val all : entry list
+(** Every registered scheduler, registration order. *)
+
+val standard : entry list
+(** The standard measurement suite, registration order: serial, 2PL,
+    2PL', preclaim, SGT, TO and sharded (K = 4). *)
+
+val names : string list
+(** The slug of every registered scheduler, registration order — what a
+    [--scheduler] flag accepts (canonical names are also accepted,
+    case-insensitively). *)
+
+val find : string -> entry option
+(** Case-insensitive lookup by canonical name or slug. *)
+
+val find_exn : string -> entry
+(** Like {!find}; raises [Invalid_argument] listing {!names} on an
+    unknown scheduler. *)

@@ -11,7 +11,24 @@ open Core
     optimistic-flavoured schedulers resolve conflicts).
 
     A scheduler instance is stateful; [attempt] must be free of
-    observable side effects so the driver can poll delayed requests. *)
+    observable side effects so the driver can poll delayed requests.
+
+    {2 Constructor convention}
+
+    Every scheduler module exposes a single constructor of the shape
+
+    {[ val create : ?sink:Obs.Sink.t -> ... -> unit -> Scheduler.t ]}
+
+    with the optional observability sink {e before} the labeled
+    arguments and a trailing [unit]. The [unit] is not decoration: an
+    optional argument is only "erased" (defaulted) when it is followed
+    by a positional or [unit] parameter at the application site —
+    without it, [create ~syntax] would be a partial application still
+    waiting for [?sink], and OCaml's warning 16 flags the unerasable
+    optional. Omitting the sink yields an untraced scheduler
+    ([Obs.Sink.null], zero-cost: emission sites are guarded by
+    {!Obs.Sink.on}). This rule is stated once here; the per-module
+    [.mli]s document only which events each scheduler emits. *)
 
 type response = Grant | Delay | Abort
 
@@ -51,4 +68,12 @@ val make :
   unit ->
   t
 (** Defaults: [on_abort] does nothing; [victim] picks the first blocked
-    transaction; [detect] reports nothing. *)
+    transaction; [detect] reports nothing.
+
+    Why "first" is safe: {!Driver.resolve_stall} presents the stuck
+    list {e youngest first} (sorted by arrival rank, descending), so the
+    default victim is the youngest blocked transaction — exactly the
+    wound-wait seniority order that guarantees termination (the oldest
+    transaction is never chosen, so some transaction always survives
+    long enough to finish). A scheduler supplying its own [victim] must
+    preserve that property itself; see {!Tpl_sched.wait_for_victim}. *)

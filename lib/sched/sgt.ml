@@ -1,6 +1,6 @@
 open Core
 
-let create_traced ~sink ~syntax =
+let create ?(sink = Obs.Sink.null) ~syntax () =
   let fmt = Syntax.format syntax in
   let n = Syntax.n_transactions syntax in
   (* Intern variable names once: the hot path is integer-only, no string
@@ -128,5 +128,3 @@ let create_traced ~sink ~syntax =
      the same conflicts and thrashes restarts a thousandfold on contended
      workloads, where the lazy policy pays a handful. *)
   Scheduler.make ~name:"SGT" ~attempt ~commit ~on_abort ()
-
-let create ~syntax = create_traced ~sink:Obs.Sink.null ~syntax

@@ -19,11 +19,10 @@ open Core
     the original copy-and-recheck implementation as the differential
     oracle. *)
 
-val create : syntax:Syntax.t -> Scheduler.t
-
-val create_traced : sink:Obs.Sink.t -> syntax:Syntax.t -> Scheduler.t
-(** Like {!create}, but admitted conflict edges emit
+val create : ?sink:Obs.Sink.t -> syntax:Syntax.t -> unit -> Scheduler.t
+(** With a [sink], admitted conflict edges emit
     {!Obs.Event.Edge_added} and fresh cycle refusals emit
     {!Obs.Event.Cycle_refused} (cached delay re-verdicts stay silent —
     they never touch the graph). Timestamps come from the driving
-    loop's {!Obs.Sink.set_now}. *)
+    loop's {!Obs.Sink.set_now}. Constructor shape per the convention in
+    {!Scheduler}. *)

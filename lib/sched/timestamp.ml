@@ -1,6 +1,6 @@
 open Core
 
-let create_traced ~sink ~syntax =
+let create ?(sink = Obs.Sink.null) ~syntax () =
   let clock = ref 0 in
   let ts : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let watermark : (Names.var, int) Hashtbl.t = Hashtbl.create 16 in
@@ -30,5 +30,3 @@ let create_traced ~sink ~syntax =
   in
   let on_abort i = Hashtbl.remove ts i in
   Scheduler.make ~name:"TO" ~attempt ~commit ~on_abort ()
-
-let create ~syntax = create_traced ~sink:Obs.Sink.null ~syntax

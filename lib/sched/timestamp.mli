@@ -12,8 +12,7 @@ open Core
     a write, so a single per-variable watermark suffices. Never delays —
     its cost shows up entirely as restarts. *)
 
-val create : syntax:Syntax.t -> Scheduler.t
-
-val create_traced : sink:Obs.Sink.t -> syntax:Syntax.t -> Scheduler.t
-(** Like {!create}, but each watermark refusal (the verdict that
-    precedes an abort-and-restart) emits {!Obs.Event.Ts_refused}. *)
+val create : ?sink:Obs.Sink.t -> syntax:Syntax.t -> unit -> Scheduler.t
+(** With a [sink], each watermark refusal (the verdict that precedes an
+    abort-and-restart) emits {!Obs.Event.Ts_refused}. Constructor shape
+    per the convention in {!Scheduler}. *)

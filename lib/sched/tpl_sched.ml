@@ -32,7 +32,7 @@ let wait_for_victim ~holders ~wanted blocked =
   | Some v -> Some v
   | None -> (match blocked with [] -> None | first :: _ -> Some first)
 
-let create_traced ~sink ~policy ~syntax =
+let create ?(sink = Obs.Sink.null) ~policy ~syntax () =
   let locked = policy.Locking.Policy.apply syntax in
   let txs = locked.Locking.Locked.txs in
   let n = Array.length txs in
@@ -162,8 +162,5 @@ let create_traced ~sink ~policy ~syntax =
     ~name:("LRS[" ^ policy.Locking.Policy.name ^ "]")
     ~attempt ~commit ~on_abort ~victim ~detect ()
 
-let create ~policy ~syntax = create_traced ~sink:Obs.Sink.null ~policy ~syntax
-let create_2pl ~syntax = create ~policy:Locking.Two_phase.policy ~syntax
-
-let create_2pl_traced ~sink ~syntax =
-  create_traced ~sink ~policy:Locking.Two_phase.policy ~syntax
+let create_2pl ?sink ~syntax () =
+  create ?sink ~policy:Locking.Two_phase.policy ~syntax ()

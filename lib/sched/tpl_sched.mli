@@ -15,18 +15,15 @@ open Core
     the SGT scheduler's fixpoint, which is the formal content of §5.4's
     "2PL cannot be optimal as a scheduler". *)
 
-val create : policy:Locking.Policy.t -> syntax:Syntax.t -> Scheduler.t
-
-val create_2pl : syntax:Syntax.t -> Scheduler.t
-
-val create_traced :
-  sink:Obs.Sink.t -> policy:Locking.Policy.t -> syntax:Syntax.t ->
+val create :
+  ?sink:Obs.Sink.t -> policy:Locking.Policy.t -> syntax:Syntax.t -> unit ->
   Scheduler.t
-(** Like {!create}, but lock acquisitions/releases emit
+(** With a [sink], lock acquisitions/releases emit
     {!Obs.Event.Lock_acquired}/{!Obs.Event.Lock_released} and each
-    named wait-for-cycle victim emits {!Obs.Event.Wound}. *)
+    named wait-for-cycle victim emits {!Obs.Event.Wound}. Constructor
+    shape per the convention in {!Scheduler}. *)
 
-val create_2pl_traced : sink:Obs.Sink.t -> syntax:Syntax.t -> Scheduler.t
+val create_2pl : ?sink:Obs.Sink.t -> syntax:Syntax.t -> unit -> Scheduler.t
 
 val wait_for_victim :
   holders:(Locking.Locked.lock_var -> int option) ->

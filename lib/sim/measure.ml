@@ -60,26 +60,11 @@ let sample ~name mk ~fmt ~samples ~seed =
 let compare_schedulers entries ~fmt ~samples ~seed =
   List.map (fun (name, mk) -> sample ~name mk ~fmt ~samples ~seed) entries
 
-let standard_suite ?(sink = Obs.Sink.null) syntax =
-  let fmt = Syntax.format syntax in
-  let first_var =
-    match Syntax.vars syntax with v :: _ -> v | [] -> assert false
-  in
-  [
-    ("serial", fun () -> Sched.Serial_sched.create ~fmt);
-    ("2PL", fun () -> Sched.Tpl_sched.create_2pl_traced ~sink ~syntax);
-    ( "2PL'",
-      fun () ->
-        Sched.Tpl_sched.create_traced ~sink
-          ~policy:(Locking.Two_phase_prime.policy ~distinguished:first_var)
-          ~syntax );
-    ( "preclaim",
-      fun () ->
-        Sched.Tpl_sched.create_traced ~sink ~policy:Locking.Preclaim.policy
-          ~syntax );
-    ("SGT", fun () -> Sched.Sgt.create_traced ~sink ~syntax);
-    ("TO", fun () -> Sched.Timestamp.create_traced ~sink ~syntax);
-  ]
+let standard_suite ?sink (syntax : Syntax.t) =
+  List.map
+    (fun e ->
+      (e.Sched.Registry.name, fun () -> e.Sched.Registry.make ?sink syntax))
+    Sched.Registry.standard
 
 let pp_rows ppf rows =
   Format.fprintf ppf "%-8s %9s %8s %8s %9s %10s %8s %8s %8s %8s@."

@@ -45,10 +45,10 @@ val compare_schedulers :
 
 val standard_suite :
   ?sink:Obs.Sink.t -> Syntax.t -> (string * (unit -> Sched.Scheduler.t)) list
-(** serial, 2PL, 2PL′(first variable), preclaim, SGT and TO over a
-    syntax. With a [sink], every non-serial scheduler is built traced,
-    emitting its internal events (edges, locks, wounds, refusals)
-    there. *)
+(** The {!Sched.Registry.standard} suite over a syntax — serial, 2PL,
+    2PL′(first variable), preclaim, SGT, TO and sharded (K = 4). With a
+    [sink], every non-serial scheduler emits its internal events
+    (edges, shard routings, locks, wounds, refusals) there. *)
 
 val pp_rows : Format.formatter -> row list -> unit
 (** An aligned text table. *)

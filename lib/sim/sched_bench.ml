@@ -7,6 +7,9 @@ type spec = {
   streams : int;
   min_time : float;
   seed : int;
+  shard_ks : int list;
+  shard_sizes : (int * int) list;
+  shard_mixes : string list;
 }
 
 type row = {
@@ -27,6 +30,9 @@ let default =
     streams = 20;
     min_time = 0.2;
     seed = 42;
+    shard_ks = [ 1; 2; 4; 8 ];
+    shard_sizes = [ (64, 2); (256, 2); (2048, 2) ];
+    shard_mixes = [ "disjoint"; "hot"; "skewed" ];
   }
 
 let smoke =
@@ -37,6 +43,9 @@ let smoke =
     streams = 2;
     min_time = 0.;
     seed = 42;
+    shard_ks = [ 4 ];
+    shard_sizes = [ (8, 2) ];
+    shard_mixes = [ "disjoint" ];
   }
 
 let syntax_of_mix st ~mix ~n ~m ~n_vars =
@@ -44,15 +53,19 @@ let syntax_of_mix st ~mix ~n ~m ~n_vars =
   | "uniform" -> Workload.uniform st ~n ~m ~n_vars
   | "hot" -> Workload.hotspot st ~n ~m ~n_vars ~theta:0.8
   | "skewed" -> Workload.zipf st ~n ~m ~n_vars ~s:1.2
+  | "disjoint" ->
+    ignore (st : Random.State.t);
+    Workload.disjoint ~n ~m
   | name ->
-    invalid_arg ("unknown workload mix " ^ name ^ " (uniform, hot, skewed)")
+    invalid_arg
+      ("unknown workload mix " ^ name ^ " (uniform, hot, skewed, disjoint)")
 
 let schedulers syntax =
   [
     ("serial", fun () -> Sched.Serial_sched.create ~fmt:(Syntax.format syntax));
-    ("2PL", fun () -> Sched.Tpl_sched.create_2pl ~syntax);
-    ("TO", fun () -> Sched.Timestamp.create ~syntax);
-    ("SGT", fun () -> Sched.Sgt.create ~syntax);
+    ("2PL", fun () -> Sched.Tpl_sched.create_2pl ~syntax ());
+    ("TO", fun () -> Sched.Timestamp.create ~syntax ());
+    ("SGT", fun () -> Sched.Sgt.create ~syntax ());
     ("SGT-ref", fun () -> Sched.Sgt_ref.create ~syntax);
   ]
 
@@ -102,7 +115,7 @@ let time_cell_set ~min_time ~fmt ~arrivals mks =
   done;
   Array.init k (fun j -> (requests.(j), seconds.(j)))
 
-let run spec =
+let run_section spec ~mixes ~sizes ~named_of_syntax =
   List.concat_map
     (fun mix ->
       List.concat_map
@@ -115,7 +128,7 @@ let run spec =
           let arrivals =
             Array.init spec.streams (fun _ -> Combin.Interleave.random st fmt)
           in
-          let named = schedulers syntax in
+          let named = named_of_syntax syntax in
           let cells =
             time_cell_set ~min_time:spec.min_time ~fmt ~arrivals
               (Array.of_list (List.map snd named))
@@ -135,8 +148,46 @@ let run spec =
                    else 0.);
               })
             named)
-        spec.sizes)
-    spec.mixes
+        sizes)
+    mixes
+
+let sharded_name k = Printf.sprintf "sharded-k%d" k
+
+(* The sharded section compares monolithic SGT against the sharded
+   engine across K on partition-sensitive workloads: [disjoint] is the
+   zero-coordination best case (every transaction single-shard), [hot]
+   and [skewed] keep contention so the coordinator path is timed too.
+   Sizes favour many small transactions — the regime the per-shard
+   graphs are built for. *)
+let sharded_schedulers ks syntax =
+  ("SGT", fun () -> Sched.Sgt.create ~syntax ())
+  :: List.map
+       (fun k ->
+         ( sharded_name k,
+           fun () -> Sched.Sharded.create ~shards:k ~syntax () ))
+       ks
+
+let run spec =
+  run_section spec ~mixes:spec.mixes ~sizes:spec.sizes
+    ~named_of_syntax:schedulers
+  @
+  match spec.shard_ks with
+  | [] -> []
+  | ks ->
+    (* Contended mixes are capped at n <= 256: a single hot/skewed run
+       at n >= 512 takes seconds (wound-wait churn on a near-complete
+       conflict graph), which would starve every other cell of its time
+       budget. Disjoint cells run at every requested size — that is the
+       scaling story the sharded section exists to measure. *)
+    List.concat_map
+      (fun mix ->
+        let sizes =
+          if mix = "disjoint" then spec.shard_sizes
+          else List.filter (fun (n, _) -> n <= 256) spec.shard_sizes
+        in
+        run_section spec ~mixes:[ mix ] ~sizes
+          ~named_of_syntax:(sharded_schedulers ks))
+      spec.shard_mixes
 
 let find rows ~scheduler ~mix ~n ~m =
   List.find_opt
@@ -153,6 +204,26 @@ let speedups rows =
         | Some ref_row when ref_row.req_per_sec > 0. ->
           Some (r.mix, r.n, r.m, r.req_per_sec /. ref_row.req_per_sec)
         | Some _ | None -> None)
+    rows
+
+let sharded_speedups rows =
+  (* the sharded engine vs monolithic SGT in the same cell, per K *)
+  List.filter_map
+    (fun r ->
+      match
+        String.length r.scheduler > 9
+        && String.sub r.scheduler 0 9 = "sharded-k"
+      with
+      | false -> None
+      | true -> (
+        match find rows ~scheduler:"SGT" ~mix:r.mix ~n:r.n ~m:r.m with
+        | Some sgt when sgt.req_per_sec > 0. ->
+          let k =
+            int_of_string
+              (String.sub r.scheduler 9 (String.length r.scheduler - 9))
+          in
+          Some (r.mix, r.n, r.m, k, r.req_per_sec /. sgt.req_per_sec)
+        | Some _ | None -> None))
     rows
 
 (* ---------- JSON ---------- *)
@@ -180,8 +251,9 @@ let to_json spec rows =
   add
     (Printf.sprintf
        "  \"config\": { \"n_vars\": %d, \"streams\": %d, \"min_time\": %g, \
-        \"seed\": %d },\n"
-       spec.n_vars spec.streams spec.min_time spec.seed);
+        \"seed\": %d, \"shard_ks\": [%s] },\n"
+       spec.n_vars spec.streams spec.min_time spec.seed
+       (String.concat ", " (List.map string_of_int spec.shard_ks)));
   add "  \"results\": [\n";
   List.iteri
     (fun i r ->
@@ -203,6 +275,16 @@ let to_json spec rows =
            ratio
            (if i = List.length sp - 1 then "" else ",")))
     sp;
+  add "  },\n";
+  add "  \"sharded_speedup_vs_sgt\": {\n";
+  let ssp = sharded_speedups rows in
+  List.iteri
+    (fun i (mix, n, m, k, ratio) ->
+      add
+        (Printf.sprintf "    \"%s/%dx%d/k%d\": %.2f%s\n" (json_escape mix) n
+           m k ratio
+           (if i = List.length ssp - 1 then "" else ",")))
+    ssp;
   add "  }\n";
   add "}\n";
   Buffer.contents b
@@ -349,11 +431,19 @@ let pp_rows ppf rows =
       Format.fprintf ppf "%-8s %-8s %3dx%-3d %12d %10.4f %14.1f@." r.mix
         r.scheduler r.n r.m r.requests r.seconds r.req_per_sec)
     rows;
-  match speedups rows with
+  (match speedups rows with
   | [] -> ()
   | sp ->
     Format.fprintf ppf "@.SGT speedup vs SGT-ref:@.";
     List.iter
       (fun (mix, n, m, ratio) ->
         Format.fprintf ppf "  %-8s %3dx%-3d %6.2fx@." mix n m ratio)
-      sp
+      sp);
+  match sharded_speedups rows with
+  | [] -> ()
+  | ssp ->
+    Format.fprintf ppf "@.sharded speedup vs SGT:@.";
+    List.iter
+      (fun (mix, n, m, k, ratio) ->
+        Format.fprintf ppf "  %-8s %3dx%-3d K=%-2d %6.2fx@." mix n m k ratio)
+      ssp

@@ -17,11 +17,20 @@ open Core
 
 type spec = {
   sizes : (int * int) list;  (** (n transactions, m steps) per cell *)
-  mixes : string list;       (** subset of ["uniform"; "hot"; "skewed"] *)
+  mixes : string list;
+      (** subset of ["uniform"; "hot"; "skewed"; "disjoint"] *)
   n_vars : int;
   streams : int;             (** arrival streams per cell *)
   min_time : float;          (** per-cell time budget, seconds *)
   seed : int;
+  shard_ks : int list;
+      (** sharded-engine section: K values ([[]] disables the section) *)
+  shard_sizes : (int * int) list;
+      (** sizes of the sharded section; contended (non-disjoint) mixes
+          are capped at [n <= 256] — a single hot run at [n >= 512]
+          takes seconds, starving every other cell — while disjoint
+          cells run at every size to expose the scaling *)
+  shard_mixes : string list;       (** mixes of the sharded section *)
 }
 
 type row = {
@@ -35,10 +44,14 @@ type row = {
 }
 
 val default : spec
-(** Full run: 4x4 / 8x8 / 16x8 over uniform, hot and zipf-skewed mixes. *)
+(** Full run: 4x4 / 8x8 / 16x8 over uniform, hot and zipf-skewed mixes,
+    plus the sharded section — monolithic SGT vs {!Sched.Sharded} at
+    K ∈ 1, 2, 4, 8 over disjoint/hot/skewed at 64x2 and 256x2, with a
+    2048x2 disjoint scaling cell. *)
 
 val smoke : spec
-(** Tiny sizes, single pass — the CI smoke configuration. *)
+(** Tiny sizes, single pass — the CI smoke configuration (sharded
+    section at K = 4 over one disjoint cell). *)
 
 val syntax_of_mix :
   Random.State.t -> mix:string -> n:int -> m:int -> n_vars:int -> Syntax.t
@@ -50,9 +63,14 @@ val run : spec -> row list
 val speedups : row list -> (string * int * int * float) list
 (** [(mix, n, m, sgt_req_per_sec / sgt_ref_req_per_sec)] per cell. *)
 
+val sharded_speedups : row list -> (string * int * int * int * float) list
+(** [(mix, n, m, K, sharded_req_per_sec / sgt_req_per_sec)] per sharded
+    cell. *)
+
 val to_json : spec -> row list -> string
 (** Hand-emitted JSON: [{"benchmark", "unit", "config", "results":
-    [row...], "sgt_speedup_vs_ref": {...}}]. *)
+    [row...], "sgt_speedup_vs_ref": {...},
+    "sharded_speedup_vs_sgt": {...}}]. *)
 
 val json_well_formed : string -> bool
 (** Minimal JSON well-formedness check (full-string parse) used by the

@@ -25,46 +25,14 @@ type run = {
   chrome : string;
 }
 
-let slug_of_name name =
-  let buf = Buffer.create (String.length name) in
-  String.iter
-    (fun c ->
-      match c with
-      | 'a' .. 'z' | '0' .. '9' -> Buffer.add_char buf c
-      | 'A' .. 'Z' -> Buffer.add_char buf (Char.lowercase_ascii c)
-      | '\'' -> Buffer.add_string buf "-prime"
-      | _ ->
-        (* collapse runs of separators *)
-        let len = Buffer.length buf in
-        if len > 0 && Buffer.nth buf (len - 1) <> '-' then
-          Buffer.add_char buf '-')
-    name;
-  let s = Buffer.contents buf in
-  (* trim a trailing separator *)
-  let l = String.length s in
-  if l > 0 && s.[l - 1] = '-' then String.sub s 0 (l - 1) else s
+let slug_of_name = Sched.Registry.slug_of_name
 
+(* Any registered scheduler round-trips through [only], not just the
+   standard suite: the registry is the single name table. *)
 let select spec =
-  let suite = Measure.standard_suite spec.syntax in
-  let names = List.map fst suite in
   match spec.only with
-  | [] -> names
-  | only ->
-    List.map
-      (fun want ->
-        let w = String.lowercase_ascii want in
-        match
-          List.find_opt
-            (fun nm ->
-              String.lowercase_ascii nm = w || slug_of_name nm = w)
-            names
-        with
-        | Some nm -> nm
-        | None ->
-          invalid_arg
-            (Printf.sprintf "unknown scheduler %S (have: %s)" want
-               (String.concat ", " names)))
-      only
+  | [] -> Sched.Registry.standard
+  | only -> List.map Sched.Registry.find_exn only
 
 let execute spec =
   let fmt = Syntax.format spec.syntax in
@@ -72,11 +40,14 @@ let execute spec =
   let st = Random.State.make [| spec.seed |] in
   let arrivals = Combin.Interleave.random st fmt in
   List.map
-    (fun name ->
+    (fun e ->
       let ring = Obs.Sink.Ring.create ~capacity:spec.capacity in
       let sink = Obs.Sink.Ring.sink ring in
-      let mk = List.assoc name (Measure.standard_suite ~sink spec.syntax) in
-      let stats = Sched.Driver.run ~sink (mk ()) ~fmt ~arrivals in
+      let stats =
+        Sched.Driver.run ~sink
+          (e.Sched.Registry.make ~sink spec.syntax)
+          ~fmt ~arrivals
+      in
       let events = Obs.Sink.Ring.events ring in
       let dropped = Obs.Sink.Ring.dropped ring in
       let counters = Obs.Fold.counters events in
@@ -84,13 +55,13 @@ let execute spec =
       let wait_hist = Obs.Fold.wait_histogram events in
       let zero_delay_fraction =
         Sched.Driver.zero_delay_fraction
-          (List.assoc name (Measure.standard_suite spec.syntax))
+          (fun () -> e.Sched.Registry.make spec.syntax)
           ~fmt ~samples:spec.samples ~seed:spec.seed
       in
       let chrome = Obs.Trace_export.chrome events in
       {
-        name;
-        slug = slug_of_name name;
+        name = e.Sched.Registry.name;
+        slug = e.Sched.Registry.slug;
         n;
         stats;
         events;

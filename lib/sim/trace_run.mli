@@ -37,13 +37,16 @@ type run = {
 }
 
 val slug_of_name : string -> string
-(** Lowercased, primes spelled out, everything else non-alphanumeric
-    collapsed to ["-"]: ["2PL'"] becomes ["2pl-prime"]. *)
+(** {!Sched.Registry.slug_of_name}: lowercased, primes spelled out,
+    everything else non-alphanumeric collapsed to ["-"]: ["2PL'"]
+    becomes ["2pl-prime"]. *)
 
 val execute : spec -> run list
-(** One traced driver run per suite scheduler, all over the same
-    arrival stream. Raises [Invalid_argument] if [only] names an
-    unknown scheduler. *)
+(** One traced driver run per selected scheduler, all over the same
+    arrival stream. [only] resolves through {!Sched.Registry.find} (so
+    any registered scheduler round-trips, not just the standard suite);
+    raises [Invalid_argument] listing {!Sched.Registry.names} on an
+    unknown name. *)
 
 val mismatches : run -> string list
 (** The trace-vs-stats differential: every counter the fold recovers

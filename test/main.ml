@@ -13,6 +13,8 @@ let () =
       ("geometry", Test_geometry.suite);
       ("sched", Test_sched.suite);
       ("sgt-diff", Test_sgt_diff.suite);
+      ("registry", Test_registry.suite);
+      ("sharded", Test_sharded.suite);
       ("sim", Test_sim.suite);
       ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);

@@ -39,7 +39,7 @@ let test_sgt_fixpoint_is_sr () =
   List.iter
     (fun syntax ->
       let fmt = Syntax.format syntax in
-      let fp = Sched.Driver.fixpoint_of (fun () -> Sched.Sgt.create ~syntax) fmt in
+      let fp = Sched.Driver.fixpoint_of (fun () -> Sched.Sgt.create ~syntax ()) fmt in
       let sr = Fixpoint.sr_only syntax in
       check_int "same size" (List.length sr) (List.length fp);
       check_true "same set" (Fixpoint.subset fp sr && Fixpoint.subset sr fp))
@@ -50,7 +50,7 @@ let test_sgt_outputs_serializable () =
   for _ = 1 to 50 do
     let arrivals = Combin.Interleave.random st [| 2; 2; 2 |] in
     let syntax = Examples.hot_spot 3 2 in
-    let s = Sched.Driver.run (Sched.Sgt.create ~syntax) ~fmt:[| 2; 2; 2 |] ~arrivals in
+    let s = Sched.Driver.run (Sched.Sgt.create ~syntax ()) ~fmt:[| 2; 2; 2 |] ~arrivals in
     check_true "legal output"
       (Schedule.is_schedule_of [| 2; 2; 2 |] s.Sched.Driver.output);
     check_true "serializable output"
@@ -64,7 +64,7 @@ let test_2pl_fixpoint_between () =
   let syntax = Syntax.of_lists [ [ "x"; "y" ]; [ "x" ] ] in
   let fmt = Syntax.format syntax in
   let fp_2pl =
-    Sched.Driver.fixpoint_of (fun () -> Sched.Tpl_sched.create_2pl ~syntax) fmt
+    Sched.Driver.fixpoint_of (fun () -> Sched.Tpl_sched.create_2pl ~syntax ()) fmt
   in
   let serial = Schedule.all_serial fmt in
   let sr = Fixpoint.sr_only syntax in
@@ -82,7 +82,7 @@ let test_2pl_matches_greedy_passes () =
     (fun h ->
       let s =
         Sched.Driver.run
-          (Sched.Tpl_sched.create_2pl ~syntax)
+          (Sched.Tpl_sched.create_2pl ~syntax ())
           ~fmt ~arrivals:(Schedule.to_interleaving h)
       in
       check_true "scheduler = greedy passes"
@@ -95,7 +95,7 @@ let test_2pl_deadlock_resolved () =
   let syntax = Syntax.of_lists [ [ "x"; "y" ]; [ "y"; "x" ] ] in
   let s =
     Sched.Driver.run
-      (Sched.Tpl_sched.create_2pl ~syntax)
+      (Sched.Tpl_sched.create_2pl ~syntax ())
       ~fmt:[| 2; 2 |] ~arrivals:[| 0; 1; 0; 1 |]
   in
   check_true "completed legally"
@@ -103,13 +103,54 @@ let test_2pl_deadlock_resolved () =
   check_true "a deadlock happened" (s.Sched.Driver.deadlocks >= 1);
   check_true "serializable anyway" (Conflict.serializable syntax s.Sched.Driver.output)
 
+let test_default_victim_youngest () =
+  (* The head-of-list default victim is wound-wait-correct because the
+     driver presents the stuck list youngest first (see
+     [Scheduler.make]).  Two independent SGT cycles block T0 and T2
+     simultaneously; T2 arrived later, so T2 must be the first deadlock
+     victim — aborting the older T0 first would be a seniority
+     inversion. *)
+  let syntax =
+    Syntax.of_lists [ [ "x"; "y" ]; [ "y"; "x" ]; [ "a"; "b" ]; [ "b"; "a" ] ]
+  in
+  let fmt = Syntax.format syntax in
+  let collector = Obs.Sink.Memory.create () in
+  let s =
+    Sched.Driver.run
+      ~sink:(Obs.Sink.Memory.sink collector)
+      (Sched.Sgt.create ~syntax ())
+      ~fmt
+      ~arrivals:[| 0; 1; 1; 0; 2; 3; 3; 2 |]
+  in
+  check_true "completed legally" (Schedule.is_schedule_of fmt s.Sched.Driver.output);
+  check_true "both cycles stalled" (s.Sched.Driver.deadlocks >= 2);
+  let victims =
+    List.filter_map
+      (fun (_, e) ->
+        match e with
+        | Obs.Event.Aborted { tx; reason = Obs.Event.Deadlock } -> Some tx
+        | _ -> None)
+      (Obs.Sink.Memory.events collector)
+  in
+  check_int "youngest blocked aborted first" 2 (List.hd victims);
+  (* the head pick itself, via a scheduler built without ~victim *)
+  let s =
+    Sched.Scheduler.make ~name:"v"
+      ~attempt:(fun _ -> Sched.Scheduler.Grant)
+      ~commit:(fun _ -> ())
+      ()
+  in
+  check_true "default victim = head"
+    (s.Sched.Scheduler.victim [ 3; 1 ] = Some 3
+    && s.Sched.Scheduler.victim [] = None)
+
 let test_to_restarts () =
   (* arrival order T1 first gives T1 the older timestamp; T2 touching x
      first then forces T1 to restart *)
   let syntax = Examples.hot_spot 2 1 in
   let s =
     Sched.Driver.run
-      (Sched.Timestamp.create ~syntax)
+      (Sched.Timestamp.create ~syntax ())
       ~fmt:[| 1; 1 |] ~arrivals:[| 0; 1 |]
   in
   check_true "no restart in ts order" (s.Sched.Driver.restarts = 0);
@@ -122,7 +163,7 @@ let test_to_restarts () =
     (fun h ->
       let s =
         Sched.Driver.run
-          (Sched.Timestamp.create ~syntax:syntax3)
+          (Sched.Timestamp.create ~syntax:syntax3 ())
           ~fmt:[| 2; 2 |] ~arrivals:(Schedule.to_interleaving h)
       in
       restarts := !restarts + s.Sched.Driver.restarts;
@@ -136,7 +177,7 @@ let test_to_restarts () =
 let test_to_fixpoint_subset_sr () =
   let syntax = two_var in
   let fmt = Syntax.format syntax in
-  let fp = Sched.Driver.fixpoint_of (fun () -> Sched.Timestamp.create ~syntax) fmt in
+  let fp = Sched.Driver.fixpoint_of (fun () -> Sched.Timestamp.create ~syntax ()) fmt in
   check_true "TO fixpoint inside SR" (Fixpoint.subset fp (Fixpoint.sr_only syntax))
 
 let test_assertional_beyond_sr () =
@@ -149,7 +190,7 @@ let test_assertional_beyond_sr () =
   in
   let fmt = System.format sys in
   let arrivals = Schedule.to_interleaving Examples.fig1_history in
-  let sgt = Sched.Driver.run (Sched.Sgt.create ~syntax:sys.System.syntax) ~fmt ~arrivals in
+  let sgt = Sched.Driver.run (Sched.Sgt.create ~syntax:sys.System.syntax ()) ~fmt ~arrivals in
   check_false "SGT delays fig1 history" (Sched.Driver.zero_delay sgt);
   let sched, final =
     Sched.Assertional.create ~system:sys ~arcs:(Sched.Assertional.ic_arcs sys)
@@ -227,9 +268,9 @@ let prop_driver_total =
       let mks =
         [
           (fun () -> Sched.Serial_sched.create ~fmt);
-          (fun () -> Sched.Sgt.create ~syntax);
-          (fun () -> Sched.Tpl_sched.create_2pl ~syntax);
-          (fun () -> Sched.Timestamp.create ~syntax);
+          (fun () -> Sched.Sgt.create ~syntax ());
+          (fun () -> Sched.Tpl_sched.create_2pl ~syntax ());
+          (fun () -> Sched.Timestamp.create ~syntax ());
         ]
       in
       List.for_all
@@ -245,7 +286,7 @@ let prop_sgt_correct =
     (fun (syntax, h) ->
       let fmt = Syntax.format syntax in
       let s =
-        Sched.Driver.run (Sched.Sgt.create ~syntax) ~fmt
+        Sched.Driver.run (Sched.Sgt.create ~syntax ()) ~fmt
           ~arrivals:(Schedule.to_interleaving h)
       in
       Conflict.serializable syntax s.Sched.Driver.output)
@@ -259,7 +300,7 @@ let prop_2pl_correct =
       let fmt = Syntax.format syntax in
       let s =
         Sched.Driver.run
-          (Sched.Tpl_sched.create_2pl ~syntax)
+          (Sched.Tpl_sched.create_2pl ~syntax ())
           ~fmt ~arrivals:(Schedule.to_interleaving h)
       in
       Conflict.serializable syntax s.Sched.Driver.output)
@@ -273,8 +314,8 @@ let prop_fixpoint_chain =
       let fmt = Syntax.format syntax in
       let fp mk = Sched.Driver.fixpoint_of mk fmt in
       let serial = fp (fun () -> Sched.Serial_sched.create ~fmt) in
-      let tpl = fp (fun () -> Sched.Tpl_sched.create_2pl ~syntax) in
-      let sgt = fp (fun () -> Sched.Sgt.create ~syntax) in
+      let tpl = fp (fun () -> Sched.Tpl_sched.create_2pl ~syntax ()) in
+      let sgt = fp (fun () -> Sched.Sgt.create ~syntax ()) in
       Fixpoint.subset serial tpl && Fixpoint.subset tpl sgt)
 
 let suite =
@@ -287,6 +328,7 @@ let suite =
     Alcotest.test_case "2PL fixpoint between" `Quick test_2pl_fixpoint_between;
     Alcotest.test_case "2PL = greedy passes" `Quick test_2pl_matches_greedy_passes;
     Alcotest.test_case "2PL deadlock resolution" `Quick test_2pl_deadlock_resolved;
+    Alcotest.test_case "default victim is youngest" `Quick test_default_victim_youngest;
     Alcotest.test_case "TO restarts" `Quick test_to_restarts;
     Alcotest.test_case "TO fixpoint in SR" `Quick test_to_fixpoint_subset_sr;
     Alcotest.test_case "assertional beyond SR" `Quick test_assertional_beyond_sr;

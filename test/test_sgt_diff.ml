@@ -47,7 +47,7 @@ let check_equiv syntax arrivals =
   let fmt = Syntax.format syntax in
   let t1 = ref [] and t2 = ref [] in
   let s1 =
-    Sched.Driver.run (traced t1 (Sched.Sgt.create ~syntax)) ~fmt ~arrivals
+    Sched.Driver.run (traced t1 (Sched.Sgt.create ~syntax ())) ~fmt ~arrivals
   in
   let s2 =
     Sched.Driver.run (traced t2 (Sched.Sgt_ref.create ~syntax)) ~fmt ~arrivals
@@ -100,7 +100,7 @@ let test_fixpoint_sets_agree () =
     (fun syntax ->
       let fmt = Syntax.format syntax in
       let fp_inc =
-        Sched.Driver.fixpoint_of (fun () -> Sched.Sgt.create ~syntax) fmt
+        Sched.Driver.fixpoint_of (fun () -> Sched.Sgt.create ~syntax ()) fmt
       in
       let fp_ref =
         Sched.Driver.fixpoint_of (fun () -> Sched.Sgt_ref.create ~syntax) fmt
@@ -139,7 +139,7 @@ let test_repeated_access_regression () =
         Combin.Interleave.serial fmt (Array.init (Array.length fmt) Fun.id)
       in
       let s =
-        Sched.Driver.run (Sched.Sgt.create ~syntax) ~fmt ~arrivals:serial
+        Sched.Driver.run (Sched.Sgt.create ~syntax ()) ~fmt ~arrivals:serial
       in
       check_true "serial zero-delay" (Sched.Driver.zero_delay s))
     syntaxes
@@ -160,7 +160,7 @@ let prop_random_large =
         let t1 = ref [] and t2 = ref [] in
         let s1 =
           Sched.Driver.run
-            (traced t1 (Sched.Sgt.create ~syntax))
+            (traced t1 (Sched.Sgt.create ~syntax ()))
             ~fmt ~arrivals
         in
         let s2 =
@@ -226,7 +226,7 @@ let test_des_driver_corpus () =
           check_int "deadlocks agree" s.Sched.Driver.deadlocks
             d.Sim.Des.deadlocks)
         [
-          (fun () -> Sched.Sgt.create ~syntax);
+          (fun () -> Sched.Sgt.create ~syntax ());
           (fun () -> Sched.Sgt_ref.create ~syntax);
         ])
     cases;
@@ -234,7 +234,7 @@ let test_des_driver_corpus () =
      victim selection *)
   List.iter
     (fun syntax ->
-      let mk () = Sched.Tpl_sched.create_2pl ~syntax in
+      let mk () = Sched.Tpl_sched.create_2pl ~syntax () in
       let d = des syntax mk in
       let s = driver syntax mk in
       check_int "2PL restarts agree" s.Sched.Driver.restarts
@@ -257,9 +257,9 @@ let test_des_driver_sweep () =
     let m = 2 + Random.State.int st 5 in
     let n_vars = 2 + Random.State.int st 4 in
     let syntax = Sim.Workload.uniform st ~n ~m ~n_vars in
-    let d = des syntax (fun () -> Sched.Sgt.create ~syntax) in
+    let d = des syntax (fun () -> Sched.Sgt.create ~syntax ()) in
     let dref = des syntax (fun () -> Sched.Sgt_ref.create ~syntax) in
-    let s = driver syntax (fun () -> Sched.Sgt.create ~syntax) in
+    let s = driver syntax (fun () -> Sched.Sgt.create ~syntax ()) in
     check_int "SGT = SGT-ref restarts in DES" dref.Sim.Des.restarts
       d.Sim.Des.restarts;
     check_int "SGT = SGT-ref deadlocks in DES" dref.Sim.Des.deadlocks
@@ -267,7 +267,7 @@ let test_des_driver_sweep () =
     check_true "SGT within one abort of driver"
       (abs (d.Sim.Des.restarts - s.Sched.Driver.restarts) <= 1);
     check_true "SGT restarts bounded" (d.Sim.Des.restarts <= n + m);
-    let dtpl = des syntax (fun () -> Sched.Tpl_sched.create_2pl ~syntax) in
+    let dtpl = des syntax (fun () -> Sched.Tpl_sched.create_2pl ~syntax ()) in
     check_true "2PL restarts bounded" (dtpl.Sim.Des.restarts <= 8 * n)
   done
 

@@ -55,7 +55,7 @@ let test_exact_fixpoint_counts () =
   check_int "serial |P| = 2" 2
     (Sim.Measure.exact_fixpoint_count (fun () -> Sched.Serial_sched.create ~fmt) fmt);
   check_int "SGT |P| = |SR| = 2" 2
-    (Sim.Measure.exact_fixpoint_count (fun () -> Sched.Sgt.create ~syntax:hot22) fmt)
+    (Sim.Measure.exact_fixpoint_count (fun () -> Sched.Sgt.create ~syntax:hot22 ()) fmt)
 
 let test_sample_row () =
   let fmt = Syntax.format hot22 in
@@ -81,8 +81,8 @@ let test_compare_ordering () =
     Sim.Measure.compare_schedulers
       [
         ("serial", fun () -> Sched.Serial_sched.create ~fmt);
-        ("2PL", fun () -> Sched.Tpl_sched.create_2pl ~syntax);
-        ("SGT", fun () -> Sched.Sgt.create ~syntax);
+        ("2PL", fun () -> Sched.Tpl_sched.create_2pl ~syntax ());
+        ("SGT", fun () -> Sched.Sgt.create ~syntax ());
       ]
       ~fmt ~samples:400 ~seed:11
   in
@@ -96,7 +96,7 @@ let test_standard_suite_runs () =
       (Sim.Measure.standard_suite syntax)
       ~fmt:(Syntax.format syntax) ~samples:50 ~seed:3
   in
-  check_int "six rows" 6 (List.length rows);
+  check_int "seven rows" 7 (List.length rows);
   let table = Format.asprintf "%a" Sim.Measure.pp_rows rows in
   check_true "renders" (String.length table > 0)
 
@@ -138,7 +138,7 @@ let test_des_contention_hurts () =
   let cold = Sim.Workload.disjoint ~n:6 ~m:2 in
   let run syntax =
     Sim.Des.run des_params ~syntax
-      ~scheduler:(fun () -> Sched.Sgt.create ~syntax)
+      ~scheduler:(fun () -> Sched.Sgt.create ~syntax ())
   in
   let rh = run hot and rc = run cold in
   check_true "disjoint waits less"

@@ -121,9 +121,9 @@ let test_des_fold () =
             f.Obs.Fold.deadlocks;
           check_int (tag "commits") n f.Obs.Fold.commits)
         [
-          ("sgt", fun () -> Sched.Sgt.create ~syntax);
-          ("2pl", fun () -> Sched.Tpl_sched.create_2pl ~syntax);
-          ("to", fun () -> Sched.Timestamp.create ~syntax);
+          ("sgt", fun () -> Sched.Sgt.create ~syntax ());
+          ("2pl", fun () -> Sched.Tpl_sched.create_2pl ~syntax ());
+          ("to", fun () -> Sched.Timestamp.create ~syntax ());
         ])
     corpus
 
@@ -209,7 +209,7 @@ let test_slugs () =
   let runs = Sim.Trace_run.execute (spec ()) in
   check_true "suite slugs"
     (List.map (fun r -> r.Sim.Trace_run.slug) runs
-    = [ "serial"; "2pl"; "2pl-prime"; "preclaim"; "sgt"; "to" ]);
+    = [ "serial"; "2pl"; "2pl-prime"; "preclaim"; "sgt"; "to"; "sharded" ]);
   (* scheduler selection accepts slugs and is case-insensitive *)
   let picked = Sim.Trace_run.execute (spec ~only:[ "SGT"; "2pl-prime" ] ()) in
   check_true "selection by name and slug"
