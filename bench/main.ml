@@ -28,6 +28,7 @@ let experiments =
     ("P4", Exp_cost.run);
     ("S1", Exp_analysis.run);
     ("B1", Exp_sched_bench.run);
+    ("C1", Exp_check.run);
   ]
 
 let () =

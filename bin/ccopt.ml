@@ -10,6 +10,8 @@
      ccopt measure   --syntax "xy,yx" --samples 500
      ccopt bench     [--json] [--out BENCH_sched.json]  scheduler req/s
      ccopt trace     --syntax "xy,yx" --seed 42 [--out PREFIX] [--json]
+     ccopt check     --syntax "xy,yx" --scheduler sgt --seed 42
+                     | --schedule 0101 | --trace FILE.events  [--levels ..]
 *)
 
 open Core
@@ -150,6 +152,12 @@ let parse_ints spec =
         | _ -> invalid_arg ("bad shard count " ^ s ^ " in --shards"))
     (String.split_on_char ',' spec)
 
+let read_file file =
+  let ic = open_in_bin file in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
 let bench sizes mixes n_vars streams min_time seed smoke json out shards
     shard_sizes =
   let spec =
@@ -182,6 +190,15 @@ let bench sizes mixes n_vars streams min_time seed smoke json out shards
   match out with
   | None -> print_string body
   | Some file ->
+    (* regenerating in place keeps top-level keys other tools added to
+       the file (e.g. a checker-throughput section) *)
+    let body =
+      if json then
+        match (try Some (read_file file) with Sys_error _ -> None) with
+        | Some existing -> Sim.Sched_bench.merge_preserving ~existing body
+        | None -> body
+      else body
+    in
     let oc = open_out file in
     output_string oc body;
     close_out oc;
@@ -233,10 +250,242 @@ let trace spec sched_names seed capacity samples json out =
         let oc = open_out file in
         output_string oc r.Sim.Trace_run.chrome;
         close_out oc;
-        Printf.printf "wrote %s\n" file)
+        Printf.printf "wrote %s\n" file;
+        (* the machine-readable twin: an exact event log that [ccopt
+           check --trace] can replay *)
+        let efile = prefix ^ "-" ^ r.Sim.Trace_run.slug ^ ".events" in
+        let oc = open_out efile in
+        output_string oc
+          (Obs.Event_log.to_string ~dropped:r.Sim.Trace_run.dropped
+             r.Sim.Trace_run.events);
+        close_out oc;
+        Printf.printf "wrote %s\n" efile)
       runs);
   if json then print_endline (Sim.Trace_run.json_summary tspec runs)
   else Format.printf "%a" Sim.Trace_run.pp_summary runs
+
+(* JSON string escaping for the check report (same minimal set as the
+   other hand-emitted reports). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let witness_kind = function
+  | Analysis.Checker.Cycle _ -> "cycle"
+  | Analysis.Checker.Dangling_read _ -> "dangling-read"
+  | Analysis.Checker.Ambiguous_write _ -> "ambiguous-write"
+  | Analysis.Checker.Internal_misread _ -> "internal-misread"
+  | Analysis.Checker.No_order _ -> "no-order"
+
+let check_json ~source hist results =
+  let n = Analysis.History.n hist in
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema_version\": %d, \"source\": \"%s\", \"label\": \"%s\", \
+        \"txns\": %d, \"events\": %d, \"complete\": %b, \"results\": ["
+       Analysis.Report.schema_version (json_escape source)
+       (json_escape (Analysis.History.label hist))
+       n
+       (Analysis.History.n_events hist)
+       (Analysis.History.complete hist));
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ", ";
+      let level = Analysis.Checker.level_name r.Analysis.Checker.level in
+      let split = r.Analysis.Checker.split in
+      (match r.Analysis.Checker.verdict with
+      | Analysis.Checker.Consistent order ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"level\": \"%s\", \"verdict\": \"consistent\", \"split\": \
+              %b, \"order\": [%s]}"
+             level split
+             (String.concat ", " (List.map string_of_int order)))
+      | Analysis.Checker.Violation w ->
+        let nn = if split then 2 * n else n in
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"level\": \"%s\", \"verdict\": \"violation\", \"split\": \
+              %b, \"witness\": {\"kind\": \"%s\", \"text\": \"%s\"}}"
+             level split (witness_kind w)
+             (json_escape
+                (Format.asprintf "%a"
+                   (Analysis.Checker.pp_witness ~split ~n:nn)
+                   w)))
+      | Analysis.Checker.Unknown reason ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"level\": \"%s\", \"verdict\": \"unknown\", \"split\": %b, \
+              \"reason\": \"%s\"}"
+             level split (json_escape reason))))
+    results;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let check spec sched_spec sched_name seed capacity trace_file levels_spec
+    mutate_name budget bench out json =
+  let levels =
+    match levels_spec with
+    | None -> Analysis.Checker.levels
+    | Some s ->
+      List.map
+        (fun nm ->
+          match Analysis.Checker.level_of_name nm with
+          | Some l -> l
+          | None ->
+            Printf.eprintf "ccopt check: unknown level %s (have: %s)\n" nm
+              (String.concat ", "
+                 (List.map Analysis.Checker.level_name
+                    Analysis.Checker.levels));
+            exit 1)
+        (List.filter (fun s -> s <> "") (String.split_on_char ',' s))
+  in
+  match bench with
+  | Some size ->
+    (* throughput mode: a generated serializable history; any verdict
+       other than Consistent fails the run *)
+    let bspec =
+      match size with
+      | "smoke" -> Sim.Check_bench.smoke
+      | "default" -> Sim.Check_bench.default
+      | s -> Sim.Check_bench.parse_dims s Sim.Check_bench.default
+    in
+    let bspec = { bspec with Sim.Check_bench.seed; levels } in
+    let rows = Sim.Check_bench.run bspec in
+    let body =
+      if json then begin
+        let s = Sim.Check_bench.to_json bspec rows in
+        if not (Sim.Sched_bench.json_well_formed s) then begin
+          prerr_endline "ccopt: internal error: check emitted malformed JSON";
+          exit 1
+        end;
+        s
+      end
+      else Format.asprintf "%a" Sim.Check_bench.pp_rows rows
+    in
+    (match out with
+    | None -> print_string body
+    | Some file ->
+      let body =
+        if json then
+          match (try Some (read_file file) with Sys_error _ -> None) with
+          | Some existing -> Sim.Sched_bench.merge_preserving ~existing body
+          | None -> body
+        else body
+      in
+      let oc = open_out file in
+      output_string oc body;
+      close_out oc;
+      Printf.printf "wrote %s\n" file)
+  | None ->
+  let spec =
+    match spec with
+    | Some s -> s
+    | None ->
+      Printf.eprintf "ccopt check: --syntax is required (unless --bench)\n";
+      exit 1
+  in
+  let syntax = parse_syntax spec in
+  let fmt = Syntax.format syntax in
+  let source, hist =
+    match (trace_file, sched_spec) with
+    | Some file, _ -> (
+      let text =
+        try read_file file
+        with Sys_error msg ->
+          Printf.eprintf "ccopt check: %s\n" msg;
+          exit 1
+      in
+      match Obs.Event_log.parse text with
+      | Error msg ->
+        Printf.eprintf "ccopt check: %s: %s\n" file msg;
+        exit 1
+      | Ok (events, dropped) ->
+        let fh = Obs.Fold.history events in
+        let complete = dropped = 0 && not fh.Obs.Fold.truncated in
+        ( "trace " ^ file,
+          Analysis.History.of_steps ~label:file ~complete syntax
+            fh.Obs.Fold.steps ))
+    | None, Some digits ->
+      let h = Schedule.of_interleaving (parse_interleaving digits) in
+      if not (Schedule.is_schedule_of fmt h) then begin
+        Printf.eprintf "ccopt check: not a schedule of the syntax\n";
+        exit 1
+      end;
+      ( "schedule " ^ digits,
+        Analysis.History.of_schedule ~label:(spec ^ " @ " ^ digits) syntax h
+      )
+    | None, None ->
+      let e = registry_entry sched_name in
+      let st = Random.State.make [| seed |] in
+      let arrivals = Combin.Interleave.random st fmt in
+      let ring = Obs.Sink.Ring.create ~capacity in
+      let sink = Obs.Sink.Ring.sink ring in
+      ignore
+        (Sched.Driver.run ~sink
+           (e.Sched.Registry.make ~sink syntax)
+           ~fmt ~arrivals);
+      let fh = Obs.Fold.history (Obs.Sink.Ring.events ring) in
+      let complete =
+        Obs.Sink.Ring.dropped ring = 0 && not fh.Obs.Fold.truncated
+      in
+      let label = Printf.sprintf "%s via %s (seed %d)" spec sched_name seed in
+      ( "scheduler " ^ sched_name,
+        Analysis.History.of_steps ~label ~complete syntax fh.Obs.Fold.steps
+      )
+  in
+  let hist =
+    match mutate_name with
+    | None -> hist
+    | Some name -> (
+      match Analysis.History.mutation_of_name name with
+      | None ->
+        Printf.eprintf "ccopt check: unknown mutation %s (have: %s)\n" name
+          (String.concat ", "
+             (List.map Analysis.History.mutation_name
+                Analysis.History.mutations));
+        exit 1
+      | Some m -> (
+        let rng = Random.State.make [| seed; 0x6d75 |] in
+        match Analysis.History.mutate m rng hist with
+        | Some h -> h
+        | None ->
+          Printf.eprintf "ccopt check: mutation %s has no applicable site\n"
+            name;
+          exit 1))
+  in
+  let results = List.map (Analysis.Checker.check ~budget hist) levels in
+  let n = Analysis.History.n hist in
+  if json then print_endline (check_json ~source hist results)
+  else begin
+    Printf.printf "history: %s (%d txns, %d events%s)\n"
+      (Analysis.History.label hist)
+      n
+      (Analysis.History.n_events hist)
+      (if Analysis.History.complete hist then "" else ", truncated");
+    List.iter
+      (fun r -> Format.printf "%a@." (Analysis.Checker.pp_result ~n) r)
+      results
+  end;
+  if
+    List.exists
+      (fun r ->
+        match r.Analysis.Checker.verdict with
+        | Analysis.Checker.Violation _ -> true
+        | _ -> false)
+      results
+  then exit 1
 
 (* ---------- cmdliner wiring ---------- *)
 
@@ -313,12 +562,16 @@ let analyze_cmd =
           ~doc:"Locking policy to lint: 2pl, 2pl', preclaim or mutex.")
   in
   let certify =
+    (* the certifier resolves names through the registry; derive the doc
+       from it so help text cannot drift from the name table *)
     Arg.(
       value
       & opt (some string) None
       & info [ "certify" ]
-          ~doc:"Scheduler to certify against Theorem 1: serial, sgt, 2pl \
-                or to.")
+          ~doc:
+            ("Scheduler to certify against Theorem 1: one of "
+            ^ String.concat ", " Sched.Registry.names
+            ^ "."))
   in
   let k =
     Arg.(
@@ -346,7 +599,14 @@ let measure_cmd =
     Arg.(value & opt int 500 & info [ "samples" ] ~doc:"Random histories.")
   in
   Cmd.v
-    (Cmd.info "measure" ~doc:"scheduler delay comparison")
+    (Cmd.info "measure"
+       ~doc:
+         ("scheduler delay comparison over the standard suite ("
+         ^ String.concat ", "
+             (List.map
+                (fun e -> e.Sched.Registry.slug)
+                Sched.Registry.standard)
+         ^ ")"))
     Term.(const measure $ syntax_arg $ samples)
 
 let bench_cmd =
@@ -476,6 +736,110 @@ let trace_cmd =
       const trace $ syntax_arg $ sched $ seed $ capacity $ samples $ json
       $ out)
 
+let check_cmd =
+  let syntax =
+    (* optional here: --bench needs no syntax *)
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "syntax"; "s" ] ~docv:"SPEC"
+          ~doc:"Transactions as comma-separated variable strings (xy,yx).")
+  in
+  let sched_spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"DIGITS"
+          ~doc:"Check this interleaving of the syntax directly.")
+  in
+  let sched =
+    Arg.(
+      value & opt string "sgt"
+      & info [ "scheduler" ]
+          ~doc:
+            ("Scheduler to re-run and check (one of "
+            ^ String.concat ", " Sched.Registry.names
+            ^ "); ignored when --schedule or --trace is given."))
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~doc:"Arrival-stream (and --mutate site) seed.")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt int Sim.Trace_run.default_capacity
+      & info [ "capacity" ] ~doc:"Ring-buffer capacity for --scheduler runs.")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Check a recorded event log (ccopt trace --out writes \
+                PREFIX-<scheduler>.events).")
+  in
+  let levels =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "levels" ] ~docv:"L,.."
+          ~doc:
+            ("Comma-separated subset of "
+            ^ String.concat ", "
+                (List.map Analysis.Checker.level_name Analysis.Checker.levels)
+            ^ " (default: all)."))
+  in
+  let mutate =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutate" ] ~docv:"KIND"
+          ~doc:
+            ("Corrupt the history first ("
+            ^ String.concat ", "
+                (List.map Analysis.History.mutation_name
+                   Analysis.History.mutations)
+            ^ ") — the checker must then reject it."))
+  in
+  let budget =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "budget" ]
+          ~doc:"Search-state budget for the SER/SI decision; exceeding it \
+                yields an unknown verdict, never a guess.")
+  in
+  let bench =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench" ] ~docv:"SIZE"
+          ~doc:"Throughput mode: check a generated serializable history and \
+                report events/sec per level. SIZE is smoke, default (1M \
+                events — the committed BENCH_check.json configuration) or \
+                NxMxSxV (transactions x steps x sessions x variables).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the --bench report to a file (with --json, foreign \
+                top-level keys of an existing file are preserved).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the verdicts as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"black-box history consistency checker: decide rc / ra / causal \
+             / si / ser over a schedule, a scheduler run or a recorded \
+             trace (exit 1 on violation)")
+    Term.(
+      const check $ syntax $ sched_spec $ sched $ seed $ capacity
+      $ trace_file $ levels $ mutate $ budget $ bench $ out $ json)
+
 let () =
   let doc = "concurrency-control optimality toolbox (Kung-Papadimitriou 1979)" in
   exit
@@ -485,7 +849,7 @@ let () =
             [
               classify_cmd; herbrand_cmd; geometry_cmd; analyze_cmd;
               schedule_run_cmd; verify_cmd; measure_cmd; bench_cmd;
-              trace_cmd;
+              trace_cmd; check_cmd;
             ])
      with
      | Invalid_argument msg ->

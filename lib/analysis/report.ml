@@ -203,10 +203,13 @@ let json_of_diagnostic d =
       | None -> [])
     @ [ ("message", J_str d.message) ])
 
+let schema_version = 1
+
 let to_json r =
   let j =
     J_obj
       [
+        ("schema_version", J_int schema_version);
         ("target", J_str r.target);
         ("diagnostics", J_list (List.map json_of_diagnostic r.diagnostics));
         ( "summary",

@@ -69,6 +69,11 @@ val pp : Format.formatter -> t -> unit
 (** Text rendering: a header line, one block per diagnostic, a summary
     tail ([N errors, M warnings, K infos]). *)
 
+val schema_version : int
+(** Version stamp carried as ["schema_version"] by every
+    machine-readable report ([ccopt analyze], [ccopt trace],
+    [ccopt check]); bumped when a consumer-visible key changes. *)
+
 val to_json : t -> string
 (** JSON rendering; see the [ccopt analyze] section of README.md for the
     schema. Deterministic key order, no trailing whitespace. *)

@@ -1,0 +1,177 @@
+let version = 1
+
+(* Timestamps are IEEE doubles in disguise (driver event counters,
+   simulated clocks); 17 significant digits round-trip any of them. *)
+let ts_string ts = Printf.sprintf "%.17g" ts
+
+let line_of (ts, (ev : Event.t)) =
+  let t = ts_string ts in
+  match ev with
+  | Submitted { tx; idx } -> Printf.sprintf "%s submitted tx=%d idx=%d" t tx idx
+  | Delayed { tx; idx } -> Printf.sprintf "%s delayed tx=%d idx=%d" t tx idx
+  | Granted { tx; idx } -> Printf.sprintf "%s granted tx=%d idx=%d" t tx idx
+  | Executed { tx; idx } -> Printf.sprintf "%s executed tx=%d idx=%d" t tx idx
+  | Committed { tx } -> Printf.sprintf "%s committed tx=%d" t tx
+  | Aborted { tx; reason } ->
+    Printf.sprintf "%s aborted tx=%d reason=%s" t tx
+      (match reason with
+      | Event.Deadlock -> "deadlock"
+      | Event.Scheduler_abort -> "scheduler")
+  | Restarted { tx } -> Printf.sprintf "%s restarted tx=%d" t tx
+  | Edge_added { src; dst } ->
+    Printf.sprintf "%s edge-added src=%d dst=%d" t src dst
+  | Cycle_refused { tx; idx } ->
+    Printf.sprintf "%s cycle-refused tx=%d idx=%d" t tx idx
+  | Lock_acquired { tx; lock } ->
+    Printf.sprintf "%s lock-acquired tx=%d lock=%s" t tx lock
+  | Lock_released { tx; lock } ->
+    Printf.sprintf "%s lock-released tx=%d lock=%s" t tx lock
+  | Wound { victim } -> Printf.sprintf "%s wound victim=%d" t victim
+  | Ts_refused { tx; idx } ->
+    Printf.sprintf "%s ts-refused tx=%d idx=%d" t tx idx
+  | Shard_routed { tx; idx; shard } ->
+    Printf.sprintf "%s shard-routed tx=%d idx=%d shard=%d" t tx idx shard
+
+let to_string ?(dropped = 0) events =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Printf.sprintf "# ccopt-events %d\n" version);
+  Buffer.add_string b (Printf.sprintf "# dropped %d\n" dropped);
+  List.iter
+    (fun e ->
+      Buffer.add_string b (line_of e);
+      Buffer.add_char b '\n')
+    events;
+  Buffer.contents b
+
+(* ---------- parsing ---------- *)
+
+(* Lock names may contain anything but whitespace (the emitters use
+   variable names); field values are split on the first '='. *)
+let field fields key =
+  let prefix = key ^ "=" in
+  let pl = String.length prefix in
+  match
+    List.find_opt
+      (fun f -> String.length f >= pl && String.sub f 0 pl = prefix)
+      fields
+  with
+  | Some f -> Ok (String.sub f pl (String.length f - pl))
+  | None -> Error (Printf.sprintf "missing field %s" key)
+
+let int_field fields key =
+  Result.bind (field fields key) (fun v ->
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %s: bad integer %S" key v))
+
+let ( let* ) = Result.bind
+
+let event_of_line line =
+  match String.split_on_char ' ' line with
+  | ts :: name :: fields -> (
+    let* ts =
+      match float_of_string_opt ts with
+      | Some t -> Ok t
+      | None -> Error (Printf.sprintf "bad timestamp %S" ts)
+    in
+    let tx () = int_field fields "tx" in
+    let idx () = int_field fields "idx" in
+    let* ev =
+      match name with
+      | "submitted" ->
+        let* tx = tx () in
+        let* idx = idx () in
+        Ok (Event.Submitted { tx; idx })
+      | "delayed" ->
+        let* tx = tx () in
+        let* idx = idx () in
+        Ok (Event.Delayed { tx; idx })
+      | "granted" ->
+        let* tx = tx () in
+        let* idx = idx () in
+        Ok (Event.Granted { tx; idx })
+      | "executed" ->
+        let* tx = tx () in
+        let* idx = idx () in
+        Ok (Event.Executed { tx; idx })
+      | "committed" ->
+        let* tx = tx () in
+        Ok (Event.Committed { tx })
+      | "aborted" ->
+        let* tx = tx () in
+        let* reason = field fields "reason" in
+        let* reason =
+          match reason with
+          | "deadlock" -> Ok Event.Deadlock
+          | "scheduler" -> Ok Event.Scheduler_abort
+          | r -> Error (Printf.sprintf "unknown abort reason %S" r)
+        in
+        Ok (Event.Aborted { tx; reason })
+      | "restarted" ->
+        let* tx = tx () in
+        Ok (Event.Restarted { tx })
+      | "edge-added" ->
+        let* src = int_field fields "src" in
+        let* dst = int_field fields "dst" in
+        Ok (Event.Edge_added { src; dst })
+      | "cycle-refused" ->
+        let* tx = tx () in
+        let* idx = idx () in
+        Ok (Event.Cycle_refused { tx; idx })
+      | "lock-acquired" ->
+        let* tx = tx () in
+        let* lock = field fields "lock" in
+        Ok (Event.Lock_acquired { tx; lock })
+      | "lock-released" ->
+        let* tx = tx () in
+        let* lock = field fields "lock" in
+        Ok (Event.Lock_released { tx; lock })
+      | "wound" ->
+        let* victim = int_field fields "victim" in
+        Ok (Event.Wound { victim })
+      | "ts-refused" ->
+        let* tx = tx () in
+        let* idx = idx () in
+        Ok (Event.Ts_refused { tx; idx })
+      | "shard-routed" ->
+        let* tx = tx () in
+        let* idx = idx () in
+        let* shard = int_field fields "shard" in
+        Ok (Event.Shard_routed { tx; idx; shard })
+      | name -> Error (Printf.sprintf "unknown event %S" name)
+    in
+    Ok (ts, ev))
+  | _ -> Error "malformed line"
+
+let parse s =
+  let lines = String.split_on_char '\n' s in
+  let dropped = ref 0 in
+  let header_seen = ref false in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc, !dropped)
+    | "" :: rest -> go acc (lineno + 1) rest
+    | line :: rest ->
+      let err msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+      if String.length line > 0 && line.[0] = '#' then begin
+        match String.split_on_char ' ' line with
+        | [ "#"; "ccopt-events"; v ] ->
+          if int_of_string_opt v = Some version then begin
+            header_seen := true;
+            go acc (lineno + 1) rest
+          end
+          else err (Printf.sprintf "unsupported format version %s" v)
+        | [ "#"; "dropped"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 ->
+            dropped := n;
+            go acc (lineno + 1) rest
+          | _ -> err "bad dropped count")
+        | _ -> go acc (lineno + 1) rest (* future metadata: ignore *)
+      end
+      else if not !header_seen then err "missing # ccopt-events header"
+      else
+        match event_of_line line with
+        | Ok e -> go (e :: acc) (lineno + 1) rest
+        | Error msg -> err msg
+  in
+  go [] 1 lines

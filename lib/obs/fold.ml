@@ -106,6 +106,61 @@ let spans ~n events =
     events;
   sp
 
+type history = {
+  steps : (int * int) list;
+  commits : int list;
+  truncated : bool;
+}
+
+let history events =
+  (* Per-transaction pending steps of the current incarnation, newest
+     first, each stamped with a global sequence number so the committed
+     steps can be merged back into execution order. *)
+  let pending : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let pending_of tx =
+    match Hashtbl.find_opt pending tx with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add pending tx r;
+      r
+  in
+  let seq = ref 0 in
+  let committed = ref [] in
+  let commits = ref [] in
+  let truncated = ref false in
+  List.iter
+    (fun (_, ev) ->
+      match (ev : Event.t) with
+      | Executed { tx; idx } ->
+        let p = pending_of tx in
+        (* a complete incarnation executes steps 0, 1, 2, ... in order;
+           a gap means the ring dropped the incarnation's head *)
+        if List.length !p <> idx then truncated := true;
+        p := (!seq, idx) :: !p;
+        incr seq
+      | Aborted { tx; _ } -> (pending_of tx) := []
+      | Committed { tx } ->
+        let p = pending_of tx in
+        if !p = [] then truncated := true
+        else begin
+          List.iter (fun (s, idx) -> committed := (s, tx, idx) :: !committed) !p;
+          p := [];
+          commits := tx :: !commits
+        end
+      | Submitted _ | Delayed _ | Granted _ | Restarted _ | Edge_added _
+      | Cycle_refused _ | Lock_acquired _ | Lock_released _ | Wound _
+      | Ts_refused _ | Shard_routed _ -> ())
+    events;
+  {
+    steps =
+      List.map
+        (fun (_, tx, idx) -> (tx, idx))
+        (List.sort compare !committed);
+    commits = List.sort_uniq compare !commits;
+    truncated = !truncated;
+  }
+
 let grant_waits events =
   let acc = ref [] in
   fold_grants events ~on_grant:(fun w -> acc := w :: !acc);

@@ -49,3 +49,27 @@ val grant_waits : (float * Event.t) list -> int list
 
 val wait_histogram : (float * Event.t) list -> Hist.t
 (** {!grant_waits} folded into a log₂ histogram. *)
+
+type history = {
+  steps : (int * int) list;
+      (** committed [(tx, idx)] steps in execution order — the run's
+          committed schedule, grants of aborted incarnations excluded *)
+  commits : int list;  (** transactions with a [Committed] event, sorted *)
+  truncated : bool;
+      (** evidence that the trace starts mid-stream (ring truncation):
+          an incarnation whose first recorded execution is not step 0,
+          or a commit with no recorded executions. A truncated
+          reconstruction is {e not} a faithful witness — consumers must
+          degrade to partial verdicts, mirroring the {!counters}
+          tolerance contract. Wholesale drops that remove {e entire}
+          transactions leave no evidence in the stream; callers holding
+          a ring buffer must additionally consult its drop counter. *)
+}
+
+val history : (float * Event.t) list -> history
+(** Reconstruct the committed schedule from a lifecycle trace: replay
+    [Executed] events per incarnation (an [Aborted] discards the
+    incarnation's steps, mirroring the driver's restart semantics) and
+    keep exactly the steps of transactions that reach [Committed]. On a
+    complete driver trace the result equals the driver's [output]
+    schedule (enforced differentially by [test/test_checker.ml]). *)

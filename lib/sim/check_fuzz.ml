@@ -1,0 +1,228 @@
+open Core
+open Analysis
+
+type outcome = {
+  runs : int;
+  herbrand_agreed : int;
+  mutants_total : int;
+  mutants_rejected : int;
+  failures : string list;
+}
+
+let engines syntax =
+  List.map
+    (fun (e : Sched.Registry.entry) ->
+      (e.Sched.Registry.slug, fun sink -> e.Sched.Registry.make ~sink syntax))
+    Sched.Registry.all
+  @ List.filter_map
+      (fun k ->
+        (* K = 4 is the registry's own "sharded" entry *)
+        if k = 4 then None
+        else
+          Some
+            ( Printf.sprintf "sharded-k%d" k,
+              fun sink -> Sched.Sharded.create ~sink ~shards:k ~syntax () ))
+      [ 1; 4; 8 ]
+
+(* A rejected mutant needs a witness that replays; which replay applies
+   depends on the witness shape. *)
+let witness_replays h level (w : Checker.witness) =
+  match w with
+  | Checker.Cycle edges -> Checker.replay_cycle h level edges
+  | Checker.No_order _ ->
+    History.n h > 8 || not (Checker.exists_order h level)
+  | (Checker.Dangling_read _ | Checker.Ambiguous_write _
+    | Checker.Internal_misread _) as w -> List.mem w (Checker.well_formed h)
+
+let check_mutants ~label ~seed h (fails, total, rejected) =
+  let rng = Random.State.make [| seed; 0x6d75 |] in
+  List.fold_left
+    (fun (fails, total, rejected) kind ->
+      match History.mutate kind rng h with
+      | None -> (fails, total, rejected)
+      | Some hm -> (
+        let total = total + 1 in
+        match (Checker.check hm Checker.Serializability).verdict with
+        | Checker.Violation w ->
+          if witness_replays hm Checker.Serializability w then
+            (fails, total, rejected + 1)
+          else
+            ( Printf.sprintf "%s: %s witness does not replay" label
+                (History.mutation_name kind)
+              :: fails,
+              total,
+              rejected )
+        | Checker.Consistent _ ->
+          ( Printf.sprintf "%s: %s mutant accepted" label
+              (History.mutation_name kind)
+            :: fails,
+            total,
+            rejected )
+        | Checker.Unknown msg ->
+          ( Printf.sprintf "%s: %s mutant unknown (%s)" label
+              (History.mutation_name kind)
+              msg
+            :: fails,
+            total,
+            rejected )))
+    (fails, total, rejected)
+    History.mutations
+
+(* One scheduler run: drive it with a ring sink, reconstruct the
+   committed history from the trace, and put it through the whole
+   gauntlet. *)
+let check_run ~label ~seed syntax mk acc =
+  let fmt = Syntax.format syntax in
+  let n = Array.length fmt in
+  let st = Random.State.make [| seed |] in
+  let arrivals = Combin.Interleave.random st fmt in
+  let ring = Obs.Sink.Ring.create ~capacity:(1 lsl 16) in
+  let stats = Sched.Driver.run ~sink:(Obs.Sink.Ring.sink ring) (mk (Obs.Sink.Ring.sink ring)) ~fmt ~arrivals in
+  let events = Obs.Sink.Ring.events ring in
+  let fold = Obs.Fold.history events in
+  let fails = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> fails := (label ^ ": " ^ m) :: !fails) fmt in
+  if Obs.Sink.Ring.dropped ring > 0 then fail "ring dropped events";
+  if fold.Obs.Fold.truncated then fail "fold claims truncation on a complete trace";
+  let out_steps =
+    Array.to_list
+      (Array.map
+         (fun (s : Names.step_id) -> (s.Names.tx, s.Names.idx))
+         stats.Sched.Driver.output)
+  in
+  if fold.Obs.Fold.steps <> out_steps then
+    fail "Fold.history disagrees with the driver's output schedule";
+  if fold.Obs.Fold.commits <> List.init n Fun.id then
+    fail "Fold.history commit set incomplete";
+  let h =
+    History.of_steps ~label ~complete:(not fold.Obs.Fold.truncated) syntax
+      fold.Obs.Fold.steps
+  in
+  List.iter
+    (fun (r : Checker.result) ->
+      match r.Checker.verdict with
+      | Checker.Consistent order ->
+        if
+          r.Checker.level <> Checker.Snapshot_isolation
+          && not (Checker.validate_order h r.Checker.level order)
+        then
+          fail "%s order does not validate" (Checker.level_name r.Checker.level)
+      | Checker.Violation _ ->
+        fail "committed history rejected at %s" (Checker.level_name r.Checker.level)
+      | Checker.Unknown msg ->
+        fail "unknown at %s (%s)" (Checker.level_name r.Checker.level) msg)
+    (Checker.check_all h);
+  let si_order =
+    match (Checker.check h Checker.Snapshot_isolation).Checker.verdict with
+    | Checker.Consistent o -> Checker.validate_order h Checker.Snapshot_isolation o
+    | _ -> true (* already reported above *)
+  in
+  if not si_order then fail "si order does not validate";
+  let herb =
+    if n <= 5 then begin
+      if Herbrand.serializable syntax stats.Sched.Driver.output then true
+      else begin
+        fail "Herbrand oracle rejects a scheduler output";
+        false
+      end
+    end
+    else false
+  in
+  let mfails, mtotal, mrejected = check_mutants ~label ~seed h ([], 0, 0) in
+  ( { runs = acc.runs + 1;
+      herbrand_agreed = (acc.herbrand_agreed + if herb then 1 else 0);
+      mutants_total = acc.mutants_total + mtotal;
+      mutants_rejected = acc.mutants_rejected + mrejected;
+      failures = mfails @ !fails @ acc.failures;
+    } )
+
+let empty =
+  { runs = 0; herbrand_agreed = 0; mutants_total = 0; mutants_rejected = 0;
+    failures = [] }
+
+let sweep ?(seeds = 100) () =
+  let sizes = [| (4, 3); (5, 3); (6, 2); (8, 2) |] in
+  let acc = ref empty in
+  for seed = 0 to seeds - 1 do
+    let n, m = sizes.(seed mod Array.length sizes) in
+    let st = Random.State.make [| seed; 0xf00d |] in
+    let syntax =
+      match seed mod 3 with
+      | 0 -> Workload.uniform st ~n ~m ~n_vars:(max 2 (n / 2))
+      | 1 -> Workload.hotspot st ~n ~m ~n_vars:(max 2 (n / 2)) ~theta:0.8
+      | _ -> Workload.zipf st ~n ~m ~n_vars:(max 2 (n / 2)) ~s:1.2
+    in
+    List.iter
+      (fun (slug, mk) ->
+        let label = Printf.sprintf "seed %d %s" seed slug in
+        acc := check_run ~label ~seed syntax mk !acc)
+      (engines syntax)
+  done;
+  { !acc with failures = List.rev !acc.failures }
+
+let universes =
+  [
+    [ [ "x" ]; [ "x" ] ];
+    [ [ "x"; "y" ]; [ "y"; "x" ] ];
+    [ [ "x"; "x" ]; [ "x" ] ];
+    [ [ "x"; "y" ]; [ "x"; "y" ]; [ "y" ] ];
+    [ [ "x" ]; [ "x" ]; [ "x" ] ];
+    [ [ "x"; "y"; "z" ]; [ "z"; "x" ] ];
+    [ [ "x"; "y" ]; [ "y"; "z" ]; [ "z"; "x" ] ];
+  ]
+
+let exhaustive () =
+  let acc = ref empty in
+  let fail m = acc := { !acc with failures = m :: !acc.failures } in
+  List.iter
+    (fun lists ->
+      let syntax = Syntax.of_lists lists in
+      List.iter
+        (fun sched ->
+          acc := { !acc with runs = !acc.runs + 1 };
+          let label =
+            Format.asprintf "%a %a" Syntax.pp syntax Schedule.pp sched
+          in
+          let label =
+            String.concat " " (String.split_on_char '\n' label)
+          in
+          let herb = Herbrand.serializable syntax sched in
+          let h = History.of_schedule syntax sched in
+          let consistent l =
+            match (Checker.check h l).Checker.verdict with
+            | Checker.Consistent _ -> true
+            | _ -> false
+          in
+          (match (Checker.check h Checker.Serializability).Checker.verdict with
+          | Checker.Consistent o ->
+            if not herb then fail (label ^ ": checker accepts, oracle rejects");
+            if not (Checker.validate_order h Checker.Serializability o) then
+              fail (label ^ ": order does not validate");
+            acc := { !acc with herbrand_agreed = !acc.herbrand_agreed + 1 }
+          | Checker.Violation w ->
+            if herb then fail (label ^ ": checker rejects, oracle accepts")
+            else if not (witness_replays h Checker.Serializability w) then
+              fail (label ^ ": witness does not replay")
+            else
+              acc := { !acc with herbrand_agreed = !acc.herbrand_agreed + 1 }
+          | Checker.Unknown msg -> fail (label ^ ": unknown (" ^ msg ^ ")"));
+          (* the level ladder is monotone: SER ⊆ SI ⊆ causal ⊆ RA ⊆ RC *)
+          let rc = consistent Checker.Read_committed
+          and ra = consistent Checker.Read_atomic
+          and ca = consistent Checker.Causal
+          and si = consistent Checker.Snapshot_isolation
+          and se = consistent Checker.Serializability in
+          if
+            (se && not si) || (si && not ca) || (ca && not ra) || (ra && not rc)
+          then fail (label ^ ": level ladder not monotone");
+          (* tiny histories: per-level ground truth by enumeration *)
+          if Syntax.n_transactions syntax <= 3 then
+            List.iter
+              (fun l ->
+                if Checker.exists_order h l <> consistent l then
+                  fail
+                    (label ^ ": ground truth mismatch at " ^ Checker.level_name l))
+              Checker.levels)
+        (Schedule.all (Syntax.format syntax)))
+    universes;
+  { !acc with failures = List.rev !acc.failures }

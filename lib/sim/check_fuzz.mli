@@ -1,0 +1,44 @@
+open Core
+
+(** Fuzzing differential between the schedulers and the black-box
+    history checker ({!Analysis.Checker}).
+
+    Three obligations, each independently falsifiable:
+
+    - {e soundness of the pipeline}: every history committed by every
+      registered scheduler (plus the sharded engine at several K) must
+      check consistent at {e every} level — scheduler outputs are
+      serializable, and serializability is the strongest level. The
+      history is reconstructed from the recorded observability trace
+      via {!Obs.Fold.history}, which must itself agree with the
+      driver's output schedule (trace ≡ stats, extended to schedules);
+    - {e sensitivity}: seeded mutations of those histories (swapped
+      reads, dropped writes, rewired reads) must be rejected, with a
+      witness that replays;
+    - {e oracle agreement}: wherever the brute-force Herbrand test
+      applies (small n), it and the checker must agree — and on
+      exhaustive small universes they must agree on {e every} schedule,
+      with per-level ground truth from {!Analysis.Checker.exists_order}
+      on the smallest ones.
+
+    Any broken obligation lands in [failures] as a labelled message;
+    the tests assert the list is empty. *)
+
+type outcome = {
+  runs : int;  (** scheduler runs checked end to end *)
+  herbrand_agreed : int;  (** runs also confirmed by the oracle *)
+  mutants_total : int;
+  mutants_rejected : int;
+  failures : string list;
+}
+
+val engines : Syntax.t -> (string * (Obs.Sink.t -> Sched.Scheduler.t)) list
+(** Every registry entry plus the sharded engine at K ∈ {1, 4, 8}. *)
+
+val sweep : ?seeds:int -> unit -> outcome
+(** The seeded sweep (default 100 seeds). Workload mixes and sizes
+    rotate deterministically per seed. *)
+
+val exhaustive : unit -> outcome
+(** Every schedule of a fixed family of small universes, checked
+    against the Herbrand oracle; [runs] counts schedules. *)

@@ -292,8 +292,10 @@ let to_json spec rows =
 (* Minimal recursive-descent well-formedness check over the JSON we
    emit (objects, arrays, strings, numbers, true/false/null). Used by
    the @check bench smoke so the harness cannot rot into emitting
-   garbage silently. *)
-let json_well_formed s =
+   garbage silently. [members_of] additionally records the raw extent
+   of each top-level member, which is what lets [--out] regeneration
+   preserve keys this emitter knows nothing about. *)
+let scan s ~on_member =
   let n = String.length s in
   let pos = ref 0 in
   let peek () = if !pos < n then Some s.[!pos] else None in
@@ -366,6 +368,7 @@ let json_well_formed s =
       digits ()
     | _ -> ())
   in
+  let depth = ref 0 in
   let rec value () =
     if !fail then ()
     else begin
@@ -373,15 +376,24 @@ let json_well_formed s =
       match peek () with
       | Some '{' ->
         advance ();
+        incr depth;
         skip_ws ();
         if peek () = Some '}' then advance ()
         else begin
           let rec members () =
             skip_ws ();
+            let kstart = !pos + 1 in
             string_lit ();
+            let kstop = !pos - 1 in
             skip_ws ();
             expect ':';
+            skip_ws ();
+            let vstart = !pos in
             value ();
+            if !depth = 1 && (not !fail) && kstop >= kstart then
+              on_member
+                ~key:(String.sub s kstart (kstop - kstart))
+                ~value:(String.sub s vstart (!pos - vstart));
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -391,7 +403,8 @@ let json_well_formed s =
             | _ -> fail := true
           in
           members ()
-        end
+        end;
+        decr depth
       | Some '[' ->
         advance ();
         skip_ws ();
@@ -420,6 +433,50 @@ let json_well_formed s =
   value ();
   skip_ws ();
   (not !fail) && !pos = n
+
+let json_well_formed s = scan s ~on_member:(fun ~key:_ ~value:_ -> ())
+
+let toplevel_members s =
+  let acc = ref [] in
+  let is_object =
+    match String.index_opt s '{' with
+    | Some i -> String.trim (String.sub s 0 i) = ""
+    | None -> false
+  in
+  if is_object && scan s ~on_member:(fun ~key ~value -> acc := (key, value) :: !acc)
+  then Some (List.rev !acc)
+  else None
+
+let trim_right s =
+  let l = ref (String.length s) in
+  while !l > 0 && (match s.[!l - 1] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+    decr l
+  done;
+  String.sub s 0 !l
+
+let merge_preserving ~existing fresh =
+  match (toplevel_members existing, toplevel_members fresh) with
+  | Some old_kvs, Some new_kvs -> (
+    let extra =
+      List.filter (fun (k, _) -> not (List.mem_assoc k new_kvs)) old_kvs
+    in
+    if extra = [] then fresh
+    else
+      match String.rindex_opt fresh '}' with
+      | None -> fresh
+      | Some close ->
+        let b = Buffer.create (String.length fresh + 256) in
+        Buffer.add_string b (trim_right (String.sub fresh 0 close));
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_string b
+              (Printf.sprintf ",\n  \"%s\": %s" k (String.trim v)))
+          extra;
+        Buffer.add_string b "\n}";
+        Buffer.add_string b
+          (String.sub fresh (close + 1) (String.length fresh - close - 1));
+        Buffer.contents b)
+  | _ -> fresh
 
 (* ---------- text rendering ---------- *)
 

@@ -76,4 +76,17 @@ val json_well_formed : string -> bool
 (** Minimal JSON well-formedness check (full-string parse) used by the
     bench smoke test; no external parser dependency. *)
 
+val toplevel_members : string -> (string * string) list option
+(** The top-level members of a JSON object, each value as its raw
+    text, in order; [None] unless the string is a well-formed object. *)
+
+val merge_preserving : existing:string -> string -> string
+(** [merge_preserving ~existing fresh] splices into [fresh] (a JSON
+    object this module emitted) every top-level key of [existing] that
+    [fresh] lacks, raw text preserved — so regenerating
+    [BENCH_sched.json] with [ccopt bench --out] keeps keys added by
+    other tools (e.g. [BENCH_check.json]-style companions merged into
+    one file, or hand-added annotations). An unparseable [existing]
+    leaves [fresh] unchanged. *)
+
 val pp_rows : Format.formatter -> row list -> unit

@@ -114,6 +114,9 @@ let pp_summary ppf runs =
       Format.fprintf ppf "wait %-8s %a@." r.name Obs.Hist.pp r.wait_hist)
     runs
 
+(* One version stamp across every machine-readable report. *)
+let schema_version = Analysis.Report.schema_version
+
 let json_escape s =
   let buf = Buffer.create (String.length s + 2) in
   String.iter
@@ -132,9 +135,10 @@ let json_summary spec runs =
   let b = Buffer.create 1024 in
   Buffer.add_string b
     (Printf.sprintf
-       "{\"syntax\": \"%s\", \"seed\": %d, \"capacity\": %d, \"samples\": \
-        %d, \"schedulers\": ["
-       (json_escape spec.label) spec.seed spec.capacity spec.samples);
+       "{\"schema_version\": %d, \"syntax\": \"%s\", \"seed\": %d, \
+        \"capacity\": %d, \"samples\": %d, \"schedulers\": ["
+       schema_version (json_escape spec.label) spec.seed spec.capacity
+       spec.samples);
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_string b ", ";

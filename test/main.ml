@@ -25,4 +25,5 @@ let () =
       ("rw-lock", Test_rw_lock.suite);
       ("recovery", Test_recovery.suite);
       ("analysis", Test_analysis.suite);
+      ("checker", Test_checker.suite);
     ]

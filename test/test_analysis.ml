@@ -424,6 +424,8 @@ let test_report_json () =
   List.iter
     (fun needle -> check_true ("json contains " ^ needle) (contains needle))
     [
+      (* every machine-readable report opens with its version stamp *)
+      Printf.sprintf "{\"schema_version\":%d" R.schema_version;
       "\"rule\":\"anomaly/write-skew\"";
       "\"kind\":\"cycle\"";
       "\"kind\":\"progress\"";

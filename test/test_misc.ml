@@ -259,12 +259,47 @@ let test_format_class () =
     (Info.same_class Info.Format_only a b);
   check_false "not syntactically equal" (Info.same_class Info.Syntactic a b)
 
+(* Regenerating BENCH_sched.json in place must keep top-level keys
+   other tools put there (e.g. the checker-throughput section). *)
+let test_bench_merge_preserving () =
+  let fresh = "{\n  \"benchmark\": \"b1\",\n  \"results\": [1, 2]\n}\n" in
+  let existing =
+    "{\"benchmark\": \"old\", \"checker\": {\"events_per_sec\": 9}, \
+     \"note\": \"hand-added\"}"
+  in
+  let merged = Sim.Sched_bench.merge_preserving ~existing fresh in
+  check_true "merged well-formed" (Sim.Sched_bench.json_well_formed merged);
+  (match Sim.Sched_bench.toplevel_members merged with
+  | None -> Alcotest.fail "merged not an object"
+  | Some members ->
+    check_true "fresh keys win"
+      (List.assoc "benchmark" members = "\"b1\"");
+    check_true "foreign keys preserved"
+      (List.assoc_opt "checker" members = Some "{\"events_per_sec\": 9}");
+    check_true "annotations preserved"
+      (List.assoc_opt "note" members = Some "\"hand-added\""));
+  (* idempotent: merging the merge changes nothing *)
+  check_true "merge idempotent"
+    (Sim.Sched_bench.merge_preserving ~existing:merged merged = merged);
+  (* an unparseable existing file never corrupts fresh output *)
+  check_true "garbage existing ignored"
+    (Sim.Sched_bench.merge_preserving ~existing:"not json { at all" fresh
+    = fresh);
+  check_true "non-object existing ignored"
+    (Sim.Sched_bench.merge_preserving ~existing:"[1,2,3]" fresh = fresh);
+  (* nothing to add: fresh already has every key *)
+  check_true "no-op merge"
+    (Sim.Sched_bench.merge_preserving ~existing:"{\"benchmark\": 0}" fresh
+    = fresh)
+
 let suite =
   suite
   @ [
       Alcotest.test_case "perm apply" `Quick test_perm_apply;
       Alcotest.test_case "render smoke" `Quick test_render_smoke;
       Alcotest.test_case "format class" `Quick test_format_class;
+      Alcotest.test_case "bench JSON merge preserves keys" `Quick
+        test_bench_merge_preserving;
     ]
   @ qsuite
       [

@@ -197,9 +197,133 @@ let test_ring_clear () =
        false
      with Invalid_argument _ -> true)
 
+(* ---------- event-log round trip ---------- *)
+
+let log_fixture =
+  (* one event of every shape, with timestamps that exercise the
+     17-digit float round trip *)
+  [
+    (0., Obs.Event.Submitted { tx = 0; idx = 0 });
+    (1.5, Obs.Event.Delayed { tx = 0; idx = 0 });
+    (2.7182818284590452, Obs.Event.Granted { tx = 0; idx = 0 });
+    (3.1, Obs.Event.Executed { tx = 0; idx = 0 });
+    (4., Obs.Event.Aborted { tx = 1; reason = Obs.Event.Deadlock });
+    (4., Obs.Event.Aborted { tx = 2; reason = Obs.Event.Scheduler_abort });
+    (5., Obs.Event.Restarted { tx = 1 });
+    (6., Obs.Event.Committed { tx = 0 });
+    (7., Obs.Event.Edge_added { src = 1; dst = 2 });
+    (8., Obs.Event.Cycle_refused { tx = 1; idx = 1 });
+    (9., Obs.Event.Lock_acquired { tx = 1; lock = "x" });
+    (10., Obs.Event.Lock_released { tx = 1; lock = "x" });
+    (11., Obs.Event.Wound { victim = 2 });
+    (12., Obs.Event.Ts_refused { tx = 2; idx = 0 });
+    (13., Obs.Event.Shard_routed { tx = 2; idx = 0; shard = 3 });
+  ]
+
+let test_event_log_roundtrip () =
+  let text = Obs.Event_log.to_string ~dropped:5 log_fixture in
+  (match Obs.Event_log.parse text with
+  | Ok (events, dropped) ->
+    check_true "events round-trip" (events = log_fixture);
+    check_int "dropped round-trips" 5 dropped
+  | Error msg -> Alcotest.fail msg);
+  (* default dropped is 0; blank lines and unknown comments tolerated *)
+  match Obs.Event_log.parse ("\n" ^ Obs.Event_log.to_string log_fixture ^ "# future metadata\n") with
+  | Ok (events, dropped) ->
+    check_true "events round-trip (default)" (events = log_fixture);
+    check_int "dropped defaults to 0" 0 dropped
+  | Error msg -> Alcotest.fail msg
+
+let test_event_log_rejects () =
+  let reject name text =
+    match Obs.Event_log.parse text with
+    | Ok _ -> Alcotest.fail (name ^ ": malformed log accepted")
+    | Error msg -> check_true (name ^ " error cites a line")
+        (String.length msg > 0)
+  in
+  reject "missing header" "0 submitted tx=0 idx=0\n";
+  reject "future version" "# ccopt-events 2\n";
+  reject "unknown event" "# ccopt-events 1\n0 teleported tx=0\n";
+  reject "missing field" "# ccopt-events 1\n0 submitted tx=0\n";
+  reject "bad integer" "# ccopt-events 1\n0 submitted tx=zero idx=0\n";
+  reject "bad timestamp" "# ccopt-events 1\nnever submitted tx=0 idx=0\n";
+  reject "bad abort reason" "# ccopt-events 1\n0 aborted tx=0 reason=tired\n";
+  reject "negative dropped" "# ccopt-events 1\n# dropped -1\n"
+
+(* ---------- history reconstruction from lifecycle traces ---------- *)
+
+let lifecycle tx steps =
+  (* a complete incarnation: submit/grant/execute per step, then commit *)
+  List.concat_map
+    (fun idx ->
+      [
+        Obs.Event.Submitted { tx; idx };
+        Obs.Event.Granted { tx; idx };
+        Obs.Event.Executed { tx; idx };
+      ])
+    steps
+  @ [ Obs.Event.Committed { tx } ]
+
+let stamp events = List.mapi (fun i e -> (float_of_int i, e)) events
+
+let test_fold_history () =
+  let events = stamp (lifecycle 0 [ 0; 1 ] @ lifecycle 1 [ 0 ]) in
+  let fh = Obs.Fold.history events in
+  check_true "steps in execution order"
+    (fh.Obs.Fold.steps = [ (0, 0); (0, 1); (1, 0) ]);
+  check_true "commits recorded" (fh.Obs.Fold.commits = [ 0; 1 ]);
+  check_false "complete trace not truncated" fh.Obs.Fold.truncated;
+  (* an aborted incarnation's steps are discarded, the retry's kept *)
+  let with_restart =
+    stamp
+      ([
+         Obs.Event.Submitted { tx = 0; idx = 0 };
+         Obs.Event.Granted { tx = 0; idx = 0 };
+         Obs.Event.Executed { tx = 0; idx = 0 };
+         Obs.Event.Aborted { tx = 0; reason = Obs.Event.Scheduler_abort };
+         Obs.Event.Restarted { tx = 0 };
+       ]
+      @ lifecycle 0 [ 0; 1 ])
+  in
+  let fh = Obs.Fold.history with_restart in
+  check_true "aborted incarnation discarded"
+    (fh.Obs.Fold.steps = [ (0, 0); (0, 1) ]);
+  check_false "restart is not truncation" fh.Obs.Fold.truncated
+
+let test_fold_history_truncated () =
+  (* first recorded execution of an incarnation is not step 0: the
+     trace starts mid-stream and must say so *)
+  let mid = stamp (lifecycle 0 [ 1; 2 ]) in
+  check_true "mid-transaction start flagged"
+    (Obs.Fold.history mid).Obs.Fold.truncated;
+  (* a commit with no recorded executions at all *)
+  let bare = stamp [ Obs.Event.Committed { tx = 3 } ] in
+  check_true "bare commit flagged" (Obs.Fold.history bare).Obs.Fold.truncated;
+  (* uncommitted steps are dropped from the reconstruction but do not
+     count as truncation by themselves *)
+  let uncommitted =
+    stamp
+      (lifecycle 0 [ 0 ]
+      @ [
+          Obs.Event.Submitted { tx = 1; idx = 0 };
+          Obs.Event.Granted { tx = 1; idx = 0 };
+          Obs.Event.Executed { tx = 1; idx = 0 };
+        ])
+  in
+  let fh = Obs.Fold.history uncommitted in
+  check_true "only committed steps kept" (fh.Obs.Fold.steps = [ (0, 0) ]);
+  check_true "only committed txns listed" (fh.Obs.Fold.commits = [ 0 ]);
+  check_false "in-flight work is not truncation" fh.Obs.Fold.truncated
+
 let suite =
   [
     Alcotest.test_case "hist empty and errors" `Quick test_hist_empty;
+    Alcotest.test_case "event log round trip" `Quick test_event_log_roundtrip;
+    Alcotest.test_case "event log rejects junk" `Quick test_event_log_rejects;
+    Alcotest.test_case "history from lifecycle trace" `Quick
+      test_fold_history;
+    Alcotest.test_case "history truncation evidence" `Quick
+      test_fold_history_truncated;
     Alcotest.test_case "span edge cases" `Quick test_span_edges;
     Alcotest.test_case "null sink" `Quick test_null_sink;
     Alcotest.test_case "memory sink" `Quick test_memory_sink;

@@ -163,7 +163,17 @@ let test_determinism () =
     (Sim.Trace_run.json_summary sp r1 = Sim.Trace_run.json_summary sp r2);
   check_true "text summary byte-identical"
     (Format.asprintf "%a" Sim.Trace_run.pp_summary r1
-    = Format.asprintf "%a" Sim.Trace_run.pp_summary r2)
+    = Format.asprintf "%a" Sim.Trace_run.pp_summary r2);
+  (* the summary is well-formed JSON and opens with the version stamp *)
+  let json = Sim.Trace_run.json_summary sp r1 in
+  check_true "json summary well-formed"
+    (Sim.Sched_bench.json_well_formed json);
+  let stamp =
+    Printf.sprintf "{\"schema_version\": %d," Sim.Trace_run.schema_version
+  in
+  check_true "json summary carries schema_version"
+    (String.length json >= String.length stamp
+    && String.sub json 0 (String.length stamp) = stamp)
 
 (* ---------- pipeline end-to-end: mismatches, slugs, Chrome shape ---------- *)
 
