@@ -159,7 +159,7 @@ let read_file file =
   s
 
 let bench sizes mixes n_vars streams min_time seed smoke json out shards
-    shard_sizes =
+    shard_sizes mv_sizes mv_samples =
   let spec =
     if smoke then Sim.Sched_bench.smoke
     else
@@ -173,19 +173,25 @@ let bench sizes mixes n_vars streams min_time seed smoke json out shards
         shard_ks = parse_ints shards;
         shard_sizes = parse_sizes shard_sizes;
         shard_mixes = Sim.Sched_bench.default.Sim.Sched_bench.shard_mixes;
+        mv_sizes = (if mv_sizes = "" then [] else parse_sizes mv_sizes);
+        mv_mixes = Sim.Sched_bench.default.Sim.Sched_bench.mv_mixes;
+        mv_samples;
       }
   in
   let rows = Sim.Sched_bench.run spec in
+  let mv = Sim.Sched_bench.mv_stats spec in
   let body =
     if json then begin
-      let s = Sim.Sched_bench.to_json spec rows in
+      let s = Sim.Sched_bench.to_json ~mv spec rows in
       if not (Sim.Sched_bench.json_well_formed s) then begin
         prerr_endline "ccopt: internal error: bench emitted malformed JSON";
         exit 1
       end;
       s
     end
-    else Format.asprintf "%a" Sim.Sched_bench.pp_rows rows
+    else
+      Format.asprintf "%a%a" Sim.Sched_bench.pp_rows rows
+        Sim.Sched_bench.pp_mv_stats mv
   in
   match out with
   | None -> print_string body
@@ -333,23 +339,38 @@ let check_json ~source hist results =
   Buffer.add_string b "]}";
   Buffer.contents b
 
+(* The level ladder up to and including a declared level — the default
+   [--levels] for a [--scheduler] run: an engine is checked against
+   exactly what it guarantees (SI is not serializable, and plain
+   [ccopt check --scheduler si] should not fail for it). *)
+let levels_upto level =
+  let rec go = function
+    | [] -> []
+    | l :: rest -> if l = level then [ l ] else l :: go rest
+  in
+  go Analysis.Checker.levels
+
 let check spec sched_spec sched_name seed capacity trace_file levels_spec
     mutate_name budget bench out json =
-  let levels =
+  let explicit_levels =
     match levels_spec with
-    | None -> Analysis.Checker.levels
+    | None -> None
     | Some s ->
-      List.map
-        (fun nm ->
-          match Analysis.Checker.level_of_name nm with
-          | Some l -> l
-          | None ->
-            Printf.eprintf "ccopt check: unknown level %s (have: %s)\n" nm
-              (String.concat ", "
-                 (List.map Analysis.Checker.level_name
-                    Analysis.Checker.levels));
-            exit 1)
-        (List.filter (fun s -> s <> "") (String.split_on_char ',' s))
+      Some
+        (List.map
+           (fun nm ->
+             match Analysis.Checker.level_of_name nm with
+             | Some l -> l
+             | None ->
+               Printf.eprintf "ccopt check: unknown level %s (have: %s)\n" nm
+                 (String.concat ", "
+                    (List.map Analysis.Checker.level_name
+                       Analysis.Checker.levels));
+               exit 1)
+           (List.filter (fun s -> s <> "") (String.split_on_char ',' s)))
+  in
+  let levels =
+    Option.value ~default:Analysis.Checker.levels explicit_levels
   in
   match bench with
   | Some size ->
@@ -398,7 +419,7 @@ let check spec sched_spec sched_name seed capacity trace_file levels_spec
   in
   let syntax = parse_syntax spec in
   let fmt = Syntax.format syntax in
-  let source, hist =
+  let source, hist, levels =
     match (trace_file, sched_spec) with
     | Some file, _ -> (
       let text =
@@ -412,11 +433,12 @@ let check spec sched_spec sched_name seed capacity trace_file levels_spec
         Printf.eprintf "ccopt check: %s: %s\n" file msg;
         exit 1
       | Ok (events, dropped) ->
-        let fh = Obs.Fold.history events in
-        let complete = dropped = 0 && not fh.Obs.Fold.truncated in
+        (* MV-aware: a trace with version events is reconstructed from
+           the values the engine served, not by replaying the schedule *)
         ( "trace " ^ file,
-          Analysis.History.of_steps ~label:file ~complete syntax
-            fh.Obs.Fold.steps ))
+          Sim.Check_fuzz.history_of_events ~label:file
+            ~complete:(dropped = 0) syntax events,
+          levels ))
     | None, Some digits ->
       let h = Schedule.of_interleaving (parse_interleaving digits) in
       if not (Schedule.is_schedule_of fmt h) then begin
@@ -424,8 +446,8 @@ let check spec sched_spec sched_name seed capacity trace_file levels_spec
         exit 1
       end;
       ( "schedule " ^ digits,
-        Analysis.History.of_schedule ~label:(spec ^ " @ " ^ digits) syntax h
-      )
+        Analysis.History.of_schedule ~label:(spec ^ " @ " ^ digits) syntax h,
+        levels )
     | None, None ->
       let e = registry_entry sched_name in
       let st = Random.State.make [| seed |] in
@@ -436,14 +458,22 @@ let check spec sched_spec sched_name seed capacity trace_file levels_spec
         (Sched.Driver.run ~sink
            (e.Sched.Registry.make ~sink syntax)
            ~fmt ~arrivals);
-      let fh = Obs.Fold.history (Obs.Sink.Ring.events ring) in
-      let complete =
-        Obs.Sink.Ring.dropped ring = 0 && not fh.Obs.Fold.truncated
-      in
       let label = Printf.sprintf "%s via %s (seed %d)" spec sched_name seed in
+      let levels =
+        match explicit_levels with
+        | Some ls -> ls
+        | None -> (
+          (* default to the ladder the engine actually guarantees *)
+          match Analysis.Checker.level_of_name e.Sched.Registry.level with
+          | Some l -> levels_upto l
+          | None -> Analysis.Checker.levels)
+      in
       ( "scheduler " ^ sched_name,
-        Analysis.History.of_steps ~label ~complete syntax fh.Obs.Fold.steps
-      )
+        Sim.Check_fuzz.history_of_events ~label
+          ~complete:(Obs.Sink.Ring.dropped ring = 0)
+          syntax
+          (Obs.Sink.Ring.events ring),
+        levels )
   in
   let hist =
     match mutate_name with
@@ -682,13 +712,36 @@ let bench_cmd =
       & info [ "shard-sizes" ] ~docv:"NxM,.."
           ~doc:"Workload sizes of the sharded-engine section.")
   in
+  let mv_sizes =
+    let default =
+      String.concat ","
+        (List.map
+           (fun (n, m) -> Printf.sprintf "%dx%d" n m)
+           d.Sim.Sched_bench.mv_sizes)
+    in
+    Arg.(
+      value & opt string default
+      & info [ "mv-sizes" ] ~docv:"NxM,.."
+          ~doc:"Workload sizes of the multi-version section (SGT vs \
+                MVCC/SI/SSI over typed read/update mixes); empty disables \
+                the section.")
+  in
+  let mv_samples =
+    Arg.(
+      value
+      & opt int d.Sim.Sched_bench.mv_samples
+      & info [ "mv-samples" ]
+          ~doc:"Monte-Carlo samples per |P|/|H| breadth estimate in the \
+                multi-version admission table.")
+  in
   Cmd.v
     (Cmd.info "bench"
-       ~doc:"scheduler micro-benchmark (requests/sec, incl. SGT vs SGT-ref \
-             and sharded vs monolithic SGT)")
+       ~doc:"scheduler micro-benchmark (requests/sec, incl. SGT vs SGT-ref, \
+             sharded vs monolithic SGT and the multi-version admission \
+             section)")
     Term.(
       const bench $ sizes $ mixes $ n_vars $ streams $ min_time $ seed $ smoke
-      $ json $ out $ shards $ shard_sizes)
+      $ json $ out $ shards $ shard_sizes $ mv_sizes $ mv_samples)
 
 let trace_cmd =
   let sched =
@@ -789,7 +842,8 @@ let check_cmd =
             ("Comma-separated subset of "
             ^ String.concat ", "
                 (List.map Analysis.Checker.level_name Analysis.Checker.levels)
-            ^ " (default: all)."))
+            ^ " (default: all, except --scheduler runs, which default to \
+               the ladder up to the engine's declared level)."))
   in
   let mutate =
     Arg.(

@@ -13,11 +13,15 @@ let request ?schedule ?policy ?certify ?(k = 2) syntax =
 
 let parse_syntax spec =
   let groups = String.split_on_char ',' spec in
-  Syntax.of_lists
+  Syntax.of_lists_typed
     (List.map
        (fun g ->
          if g = "" then invalid_arg "empty transaction in --syntax";
-         List.init (String.length g) (fun i -> String.make 1 g.[i]))
+         List.init (String.length g) (fun i ->
+             let c = g.[i] in
+             if c >= 'A' && c <= 'Z' then
+               (Syntax.Read, String.make 1 (Char.lowercase_ascii c))
+             else (Syntax.Update, String.make 1 c)))
        groups)
 
 let parse_interleaving spec =

@@ -134,7 +134,8 @@ let make ?(label = "history") ?(complete = true) sess =
 (* ---------- construction from schedules and traces ---------- *)
 
 (* Value-semantics replay: each RMW step reads the variable's current
-   value and installs a globally fresh one. *)
+   value and installs a globally fresh one; a [Syntax.Read] step only
+   reads. *)
 let replay ~label ~complete syntax (steps : (int * int) list) =
   let nt = Syntax.n_transactions syntax in
   let bufs = Array.make nt [] in
@@ -149,12 +150,15 @@ let replay ~label ~complete syntax (steps : (int * int) list) =
           (Printf.sprintf "History: transaction %d has no step %d" tx idx);
       let x = Syntax.var syntax (Names.step tx idx) in
       let v = match Hashtbl.find_opt cur x with Some v -> v | None -> initial_value in
-      incr fresh;
-      Hashtbl.replace cur x !fresh;
-      bufs.(tx) <-
-        { kind = W; var = x; value = !fresh }
-        :: { kind = R; var = x; value = v }
-        :: bufs.(tx))
+      match Syntax.kind syntax (Names.step tx idx) with
+      | Syntax.Read -> bufs.(tx) <- { kind = R; var = x; value = v } :: bufs.(tx)
+      | Syntax.Update ->
+        incr fresh;
+        Hashtbl.replace cur x !fresh;
+        bufs.(tx) <-
+          { kind = W; var = x; value = !fresh }
+          :: { kind = R; var = x; value = v }
+          :: bufs.(tx))
     steps;
   build ~label ~complete
     (Array.to_list (Array.map (fun evs -> [ List.rev evs ]) bufs))

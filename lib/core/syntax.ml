@@ -1,11 +1,29 @@
-type t = { accesses : Names.var array array }
+type kind = Read | Update
+
+type t = {
+  accesses : Names.var array array;
+  kinds : kind array array;
+}
 
 let make accesses =
   if Array.length accesses = 0 then invalid_arg "Syntax.make: empty system";
-  { accesses = Array.map Array.copy accesses }
+  {
+    accesses = Array.map Array.copy accesses;
+    kinds = Array.map (fun tx -> Array.make (Array.length tx) Update) accesses;
+  }
+
+let make_typed steps =
+  if Array.length steps = 0 then invalid_arg "Syntax.make_typed: empty system";
+  {
+    accesses = Array.map (Array.map snd) steps;
+    kinds = Array.map (Array.map fst) steps;
+  }
 
 let of_lists lists =
   make (Array.of_list (List.map Array.of_list lists))
+
+let of_lists_typed lists =
+  make_typed (Array.of_list (List.map Array.of_list lists))
 
 let format s = Array.map Array.length s.accesses
 
@@ -27,11 +45,32 @@ let var s (id : Names.step_id) =
   then invalid_arg "Syntax.var: step out of range";
   s.accesses.(id.tx).(id.idx)
 
+let kind s (id : Names.step_id) =
+  if
+    id.tx < 0
+    || id.tx >= n_transactions s
+    || id.idx < 0
+    || id.idx >= Array.length s.kinds.(id.tx)
+  then invalid_arg "Syntax.kind: step out of range";
+  s.kinds.(id.tx).(id.idx)
+
+let typed s =
+  Array.exists (fun tx -> Array.exists (fun k -> k = Read) tx) s.kinds
+
 let vars s =
   Array.fold_left
     (fun acc tx -> Array.fold_left (fun acc v -> Names.Vset.add v acc) acc tx)
     Names.Vset.empty s.accesses
   |> Names.Vset.elements
+
+let updates s i =
+  if i < 0 || i >= n_transactions s then invalid_arg "Syntax.updates";
+  let acc = ref Names.Vset.empty in
+  Array.iteri
+    (fun j v ->
+      if s.kinds.(i).(j) = Update then acc := Names.Vset.add v !acc)
+    s.accesses.(i);
+  Names.Vset.elements !acc
 
 let steps s =
   let acc = ref [] in
@@ -50,9 +89,9 @@ let transactions_on s v =
   |> List.map (fun (id : Names.step_id) -> id.tx)
   |> List.sort_uniq Int.compare
 
-let rename f s = { accesses = Array.map (Array.map f) s.accesses }
+let rename f s = { s with accesses = Array.map (Array.map f) s.accesses }
 
-let equal a b = a.accesses = b.accesses
+let equal a b = a.accesses = b.accesses && a.kinds = b.kinds
 
 let pp ppf s =
   Format.fprintf ppf "@[<v>";
@@ -61,7 +100,11 @@ let pp ppf s =
       Array.iteri
         (fun j v ->
           if i > 0 || j > 0 then Format.fprintf ppf "@ ";
-          Format.fprintf ppf "%a: %s" Names.pp_step (Names.step i j) v)
+          match s.kinds.(i).(j) with
+          | Update ->
+            Format.fprintf ppf "%a: %s" Names.pp_step (Names.step i j) v
+          | Read ->
+            Format.fprintf ppf "%a: r(%s)" Names.pp_step (Names.step i j) v)
         tx)
     s.accesses;
   Format.fprintf ppf "@]"

@@ -15,6 +15,11 @@ type t =
   | Wound of { victim : int }
   | Ts_refused of { tx : int; idx : int }
   | Shard_routed of { tx : int; idx : int; shard : int }
+  | Snapshot_taken of { tx : int; ts : int }
+  | Version_read of { tx : int; var : string; value : int }
+  | Version_installed of { tx : int; var : string; value : int }
+  | Ww_refused of { tx : int; var : string }
+  | Pivot_refused of { tx : int; cyclic : bool }
 
 let tx = function
   | Submitted { tx; _ }
@@ -27,7 +32,12 @@ let tx = function
   | Cycle_refused { tx; _ }
   | Lock_acquired { tx; _ }
   | Lock_released { tx; _ }
-  | Ts_refused { tx; _ } -> Some tx
+  | Ts_refused { tx; _ }
+  | Snapshot_taken { tx; _ }
+  | Version_read { tx; _ }
+  | Version_installed { tx; _ }
+  | Ww_refused { tx; _ }
+  | Pivot_refused { tx; _ } -> Some tx
   | Edge_added _ | Wound _ | Shard_routed _ -> None
 
 let pp ppf = function
@@ -54,5 +64,16 @@ let pp ppf = function
     Format.fprintf ppf "ts-refused T%d.%d" (tx + 1) idx
   | Shard_routed { tx; idx; shard } ->
     Format.fprintf ppf "shard T%d.%d->S%d" (tx + 1) idx shard
+  | Snapshot_taken { tx; ts } ->
+    Format.fprintf ppf "snapshot T%d @%d" (tx + 1) ts
+  | Version_read { tx; var; value } ->
+    Format.fprintf ppf "vread T%d %s=%d" (tx + 1) var value
+  | Version_installed { tx; var; value } ->
+    Format.fprintf ppf "vinstall T%d %s=%d" (tx + 1) var value
+  | Ww_refused { tx; var } ->
+    Format.fprintf ppf "ww-refused T%d %s" (tx + 1) var
+  | Pivot_refused { tx; cyclic } ->
+    Format.fprintf ppf "pivot-refused T%d%s" (tx + 1)
+      (if cyclic then " (cyclic)" else " (false-positive)")
 
 let to_string ev = Format.asprintf "%a" pp ev

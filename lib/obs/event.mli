@@ -42,11 +42,29 @@ type t =
   | Shard_routed of { tx : int; idx : int; shard : int }
       (** the sharded engine routed a fresh request for [tx.idx] to
           shard [shard] (cached delay re-verdicts stay silent) *)
+  | Snapshot_taken of { tx : int; ts : int }
+      (** a multi-version engine pinned [tx]'s snapshot at commit
+          timestamp [ts] (its first step; re-emitted after restarts) *)
+  | Version_read of { tx : int; var : string; value : int }
+      (** [tx] read [value] for [var] — its own write buffer first,
+          else the newest committed version at or before its snapshot *)
+  | Version_installed of { tx : int; var : string; value : int }
+      (** [tx] buffered a fresh version of [var]; emitted at the step
+          (program order) though it becomes visible at commit *)
+  | Ww_refused of { tx : int; var : string }
+      (** first-committer-wins: an overlapping committed writer of
+          [var] forces [tx] to abort (leads to an abort) *)
+  | Pivot_refused of { tx : int; cyclic : bool }
+      (** SSI found [tx] pivot of a Fekete dangerous structure
+          (rw-antidependency in and out); [cyclic] reports whether the
+          shadow serialization graph actually closed a cycle — [false]
+          marks a false-positive abort *)
 
 val tx : t -> int option
 (** The transaction a lifecycle event belongs to; [None] for
     {!Edge_added}, {!Wound} and {!Shard_routed}, which concern the
-    scheduler itself (they export on the scheduler track, track 0). *)
+    scheduler itself (they export on the scheduler track, track 0).
+    The multi-version events all carry their transaction. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

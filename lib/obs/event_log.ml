@@ -31,6 +31,16 @@ let line_of (ts, (ev : Event.t)) =
     Printf.sprintf "%s ts-refused tx=%d idx=%d" t tx idx
   | Shard_routed { tx; idx; shard } ->
     Printf.sprintf "%s shard-routed tx=%d idx=%d shard=%d" t tx idx shard
+  | Snapshot_taken { tx; ts } ->
+    Printf.sprintf "%s snapshot-taken tx=%d ts=%d" t tx ts
+  | Version_read { tx; var; value } ->
+    Printf.sprintf "%s version-read tx=%d var=%s value=%d" t tx var value
+  | Version_installed { tx; var; value } ->
+    Printf.sprintf "%s version-installed tx=%d var=%s value=%d" t tx var value
+  | Ww_refused { tx; var } ->
+    Printf.sprintf "%s ww-refused tx=%d var=%s" t tx var
+  | Pivot_refused { tx; cyclic } ->
+    Printf.sprintf "%s pivot-refused tx=%d cyclic=%b" t tx cyclic
 
 let to_string ?(dropped = 0) events =
   let b = Buffer.create 4096 in
@@ -138,6 +148,34 @@ let event_of_line line =
         let* idx = idx () in
         let* shard = int_field fields "shard" in
         Ok (Event.Shard_routed { tx; idx; shard })
+      | "snapshot-taken" ->
+        let* tx = tx () in
+        let* ts = int_field fields "ts" in
+        Ok (Event.Snapshot_taken { tx; ts })
+      | "version-read" ->
+        let* tx = tx () in
+        let* var = field fields "var" in
+        let* value = int_field fields "value" in
+        Ok (Event.Version_read { tx; var; value })
+      | "version-installed" ->
+        let* tx = tx () in
+        let* var = field fields "var" in
+        let* value = int_field fields "value" in
+        Ok (Event.Version_installed { tx; var; value })
+      | "ww-refused" ->
+        let* tx = tx () in
+        let* var = field fields "var" in
+        Ok (Event.Ww_refused { tx; var })
+      | "pivot-refused" ->
+        let* tx = tx () in
+        let* cyclic = field fields "cyclic" in
+        let* cyclic =
+          match cyclic with
+          | "true" -> Ok true
+          | "false" -> Ok false
+          | c -> Error (Printf.sprintf "field cyclic: bad boolean %S" c)
+        in
+        Ok (Event.Pivot_refused { tx; cyclic })
       | name -> Error (Printf.sprintf "unknown event %S" name)
     in
     Ok (ts, ev))

@@ -78,7 +78,8 @@ let counters events =
       | Committed _ -> c := { !c with commits = !c.commits + 1 }
       | Executed _ | Restarted _ | Edge_added _ | Cycle_refused _
       | Lock_acquired _ | Lock_released _ | Wound _ | Ts_refused _
-      | Shard_routed _ -> ())
+      | Shard_routed _ | Snapshot_taken _ | Version_read _
+      | Version_installed _ | Ww_refused _ | Pivot_refused _ -> ())
     events;
   !c
 
@@ -102,7 +103,9 @@ let spans ~n events =
            carries no span information *)
         if Span.started sp tx then Span.finish sp tx ~now:ts
       | Restarted _ | Edge_added _ | Cycle_refused _ | Lock_acquired _
-      | Lock_released _ | Wound _ | Ts_refused _ | Shard_routed _ -> ())
+      | Lock_released _ | Wound _ | Ts_refused _ | Shard_routed _
+      | Snapshot_taken _ | Version_read _ | Version_installed _
+      | Ww_refused _ | Pivot_refused _ -> ())
     events;
   sp
 
@@ -150,7 +153,8 @@ let history events =
         end
       | Submitted _ | Delayed _ | Granted _ | Restarted _ | Edge_added _
       | Cycle_refused _ | Lock_acquired _ | Lock_released _ | Wound _
-      | Ts_refused _ | Shard_routed _ -> ())
+      | Ts_refused _ | Shard_routed _ | Snapshot_taken _ | Version_read _
+      | Version_installed _ | Ww_refused _ | Pivot_refused _ -> ())
     events;
   {
     steps =
@@ -159,6 +163,65 @@ let history events =
         (List.sort compare !committed);
     commits = List.sort_uniq compare !commits;
     truncated = !truncated;
+  }
+
+type mv_access = { write : bool; var : string; value : int }
+
+type mv_history = {
+  recorded : bool;
+  txns : (int * mv_access list) list;
+  mv_commits : int list;
+  mv_truncated : bool;
+}
+
+let mv_history events =
+  let recorded = ref false in
+  let pending : (int, mv_access list ref) Hashtbl.t = Hashtbl.create 16 in
+  let pending_of tx =
+    match Hashtbl.find_opt pending tx with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add pending tx r;
+      r
+  in
+  let committed = ref [] in
+  let commits = ref [] in
+  let truncated = ref false in
+  List.iter
+    (fun (_, ev) ->
+      match (ev : Event.t) with
+      | Version_read { tx; var; value } ->
+        recorded := true;
+        let p = pending_of tx in
+        p := { write = false; var; value } :: !p
+      | Version_installed { tx; var; value } ->
+        recorded := true;
+        let p = pending_of tx in
+        p := { write = true; var; value } :: !p
+      | Aborted { tx; _ } -> (pending_of tx) := []
+      | Committed { tx } ->
+        if !recorded then begin
+          let p = pending_of tx in
+          (* every multi-version step reads, so a committed transaction
+             with no recorded accesses means the ring ate its head *)
+          if !p = [] then truncated := true
+          else begin
+            committed := (tx, List.rev !p) :: !committed;
+            p := [];
+            commits := tx :: !commits
+          end
+        end
+      | Submitted _ | Delayed _ | Granted _ | Executed _ | Restarted _
+      | Edge_added _ | Cycle_refused _ | Lock_acquired _ | Lock_released _
+      | Wound _ | Ts_refused _ | Shard_routed _ | Snapshot_taken _
+      | Ww_refused _ | Pivot_refused _ -> ())
+    events;
+  {
+    recorded = !recorded;
+    txns = List.sort compare !committed;
+    mv_commits = List.sort_uniq compare !commits;
+    mv_truncated = !truncated;
   }
 
 let grant_waits events =

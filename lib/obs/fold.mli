@@ -73,3 +73,34 @@ val history : (float * Event.t) list -> history
     keep exactly the steps of transactions that reach [Committed]. On a
     complete driver trace the result equals the driver's [output]
     schedule (enforced differentially by [test/test_checker.ml]). *)
+
+type mv_access = {
+  write : bool;  (** a [Version_installed]; otherwise a [Version_read] *)
+  var : string;
+  value : int;
+}
+
+type mv_history = {
+  recorded : bool;
+      (** any version event present — i.e. the trace came from a
+          multi-version engine, whose reads must be reconstructed from
+          version events rather than replayed from the schedule *)
+  txns : (int * mv_access list) list;
+      (** committed transactions with their accesses in program order,
+          sorted by transaction id; aborted incarnations excluded *)
+  mv_commits : int list;
+  mv_truncated : bool;
+      (** a committed transaction with no recorded accesses — evidence
+          of ring truncation. Like {!history}, this cannot see every
+          drop; combine with {!history}'s flag and the ring's drop
+          counter. *)
+}
+
+val mv_history : (float * Event.t) list -> mv_history
+(** Reconstruct the per-transaction read/write access log of a
+    multi-version run from its [Version_read]/[Version_installed]
+    events (an [Aborted] discards the incarnation's accesses). The
+    result feeds [Analysis.History.make] with the values the engine
+    actually served — unlike the single-version replay of
+    [Analysis.History.of_steps], which would misreport snapshot
+    reads. *)

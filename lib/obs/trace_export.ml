@@ -110,7 +110,27 @@ let entries events =
       | Shard_routed { tx; idx; shard } ->
         push
           (instant ~cat:internal ~ts ~tid:0 "shard-routed"
-             [ ("tx", Int (tx + 1)); ("step", Int idx); ("shard", Int shard) ]))
+             [ ("tx", Int (tx + 1)); ("step", Int idx); ("shard", Int shard) ])
+      | Snapshot_taken { tx; ts = snap } ->
+        push
+          (instant ~cat:internal ~ts ~tid:(tx + 1) "snapshot"
+             [ ("ts", Int snap) ])
+      | Version_read { tx; var; value } ->
+        push
+          (instant ~cat:internal ~ts ~tid:(tx + 1) "vread"
+             [ ("var", Str var); ("value", Int value) ])
+      | Version_installed { tx; var; value } ->
+        push
+          (instant ~cat:internal ~ts ~tid:(tx + 1) "vinstall"
+             [ ("var", Str var); ("value", Int value) ])
+      | Ww_refused { tx; var } ->
+        push
+          (instant ~cat:internal ~ts ~tid:(tx + 1) "ww-refused"
+             [ ("var", Str var) ])
+      | Pivot_refused { tx; cyclic } ->
+        push
+          (instant ~cat:internal ~ts ~tid:(tx + 1) "pivot-refused"
+             [ ("cyclic", Str (if cyclic then "true" else "false")) ]))
     events;
   (* a truncated trace (ring overflow) may leave spans open: close them
      so every B has its E *)

@@ -1,0 +1,214 @@
+open Core
+
+type policy = { name : string; fcw : bool; ssi : bool }
+
+(* All three engines share this skeleton. Every step reads (own buffer
+   first, else the newest committed version at or before the
+   transaction's snapshot) and, for Update steps, buffers a fresh
+   version that becomes visible at commit. Nothing ever delays; the
+   only verdicts are Grant and (for SI/SSI) Abort, decided by pure
+   queries at the final step's attempt:
+
+   - first-committer-wins ([fcw]): abort if an overlapping committed
+     transaction installed a version of anything in the requester's
+     static update set after the requester's snapshot;
+   - Fekete dangerous structure ([ssi]): abort if committing would
+     complete a transaction with both an incoming and an outgoing
+     rw-antidependency edge to concurrent transactions (the pivot), or
+     turn a concurrent neighbour into one. Edges discovered earlier
+     persist as sticky in/out flags on the (possibly already
+     committed, still retained) transaction records, so no dangerous
+     structure can fully commit — serializability follows from Fekete
+     et al.'s theorem without tracking the full graph.
+
+   A shadow serialization graph over the current incarnations (wr/ww
+   edges recorded as accesses happen, rw edges as they are discovered)
+   is kept solely to classify each pivot abort as cyclic (a genuine
+   serialization hazard) or a false positive — the admission decision
+   itself never consults it. *)
+let create policy ?(sink = Obs.Sink.null) ~syntax () =
+  let fmt = Syntax.format syntax in
+  let n = Array.length fmt in
+  let st = Mvstore.create () in
+  let update_vars = Array.init n (Syntax.updates syntax) in
+  let record ev = if Obs.Sink.on sink then Obs.Sink.record sink ev in
+  (* ---- shadow serialization graph (classification only) ---- *)
+  let shadow : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let shadow_add src dst =
+    if policy.ssi && src <> dst then Hashtbl.replace shadow (src, dst) ()
+  in
+  let shadow_purge i =
+    Hashtbl.fold
+      (fun (s, d) () acc -> if s = i || d = i then (s, d) :: acc else acc)
+      shadow []
+    |> List.iter (Hashtbl.remove shadow)
+  in
+  let shadow_cyclic ~extra =
+    let g = Digraph.create n in
+    Hashtbl.iter (fun (s, d) () -> Digraph.add_edge g s d) shadow;
+    List.iter (fun (s, d) -> Digraph.add_edge g s d) extra;
+    Digraph.has_cycle g
+  in
+  (* ---- pure admission queries ---- *)
+  let snap_of tx =
+    (* a transaction that has not begun (single-step, or first step)
+       would pin the current clock — equivalently, it overlaps nothing
+       committed *)
+    match Mvstore.live_txn st tx with
+    | Some t -> Mvstore.snapshot t
+    | None -> Mvstore.clock st
+  in
+  (* New rw-antidependency edges the final step's commit would create:
+     [in_new] are concurrent transactions that read something in [tx]'s
+     update set (edge u -> tx), [out_new] are concurrent committed
+     transactions that installed, after [tx]'s snapshot, a version of
+     something [tx] read (edge tx -> w). *)
+  let new_edges tx final_var final_kind =
+    let snap = snap_of tx in
+    let reads =
+      let sofar =
+        match Mvstore.live_txn st tx with
+        | Some t -> Mvstore.reads_of t
+        | None -> []
+      in
+      if final_kind = Syntax.Read && not (List.mem final_var sofar) then
+        final_var :: sofar
+      else sofar
+    in
+    let conc = Mvstore.concurrent st ~snap ~excluding:tx in
+    let in_new =
+      List.filter
+        (fun (u : Mvstore.txn) ->
+          List.exists
+            (fun x -> Names.Vset.mem x u.Mvstore.reads)
+            update_vars.(tx))
+        conc
+    in
+    let out_new =
+      List.filter
+        (fun (u : Mvstore.txn) ->
+          u.Mvstore.commit_ts <> None
+          && List.exists
+               (fun x -> List.mem_assoc x u.Mvstore.writes)
+               reads)
+        conc
+    in
+    (in_new, out_new)
+  in
+  let dangerous tx final_var final_kind =
+    let in_new, out_new = new_edges tx final_var final_kind in
+    let in_flag, out_flag =
+      match Mvstore.live_txn st tx with
+      | Some t -> (t.Mvstore.in_rw, t.Mvstore.out_rw)
+      | None -> (false, false)
+    in
+    let pivot =
+      (in_flag || in_new <> []) && (out_flag || out_new <> [])
+      (* tx itself completes the structure *)
+      || List.exists (fun (u : Mvstore.txn) -> u.Mvstore.in_rw) in_new
+      (* a neighbour that already had an in-edge gains its out-edge *)
+      || List.exists (fun (u : Mvstore.txn) -> u.Mvstore.out_rw) out_new
+      (* a committed neighbour that already had an out-edge gains in *)
+    in
+    if not pivot then None
+    else
+      let extra =
+        List.map (fun (u : Mvstore.txn) -> (u.Mvstore.id, tx)) in_new
+        @ List.map (fun (u : Mvstore.txn) -> (tx, u.Mvstore.id)) out_new
+      in
+      Some (shadow_cyclic ~extra)
+  in
+  let attempt (id : Names.step_id) =
+    let tx = id.Names.tx in
+    if id.Names.idx < fmt.(tx) - 1 then Scheduler.Grant
+    else
+      (* all admission control happens at the final step: abort
+         decisions are pure queries here, effects live in [commit] *)
+      let snap = snap_of tx in
+      match
+        if policy.fcw then
+          Mvstore.ww_conflict st ~snap ~excluding:tx update_vars.(tx)
+        else None
+      with
+      | Some var ->
+        record (Obs.Event.Ww_refused { tx; var });
+        Scheduler.Abort
+      | None ->
+        if not policy.ssi then Scheduler.Grant
+        else begin
+          match
+            dangerous tx (Syntax.var syntax id) (Syntax.kind syntax id)
+          with
+          | Some cyclic ->
+            record (Obs.Event.Pivot_refused { tx; cyclic });
+            Scheduler.Abort
+          | None -> Scheduler.Grant
+        end
+  in
+  let commit (id : Names.step_id) =
+    let tx = id.Names.tx in
+    let t =
+      match Mvstore.live_txn st tx with
+      | Some t -> t
+      | None ->
+        let t = Mvstore.begin_txn st tx in
+        record (Obs.Event.Snapshot_taken { tx; ts = Mvstore.snapshot t });
+        t
+    in
+    let x = Syntax.var syntax id in
+    let v, writer = Mvstore.read st t x in
+    record (Obs.Event.Version_read { tx; var = x; value = v });
+    (match writer with Some w -> shadow_add w tx | None -> ());
+    if policy.ssi then
+      (* reading under a snapshot an item a concurrent transaction
+         already overwrote: rw edge tx -> w, sticky on both ends *)
+      List.iter
+        (fun w ->
+          t.Mvstore.out_rw <- true;
+          (match
+             List.find_opt
+               (fun (u : Mvstore.txn) -> u.Mvstore.id = w)
+               (Mvstore.concurrent st ~snap:t.Mvstore.snap ~excluding:tx)
+           with
+          | Some u -> u.Mvstore.in_rw <- true
+          | None -> ());
+          shadow_add tx w)
+        (Mvstore.newer_writers st x ~than:t.Mvstore.snap ~excluding:tx);
+    (match Syntax.kind syntax id with
+    | Syntax.Update ->
+      (match Mvstore.newest st x with
+      | Some v when v.Mvstore.writer <> tx -> shadow_add v.Mvstore.writer tx
+      | _ -> ());
+      let v' = Mvstore.write st t x in
+      record (Obs.Event.Version_installed { tx; var = x; value = v' })
+    | Syntax.Read -> ());
+    if id.Names.idx = fmt.(tx) - 1 then begin
+      if policy.ssi then begin
+        (* persist the edges this commit creates so later commit
+           attempts of the neighbours still see them *)
+        let in_new, out_new =
+          new_edges tx x (Syntax.kind syntax id)
+        in
+        List.iter
+          (fun (u : Mvstore.txn) ->
+            u.Mvstore.out_rw <- true;
+            t.Mvstore.in_rw <- true;
+            shadow_add u.Mvstore.id tx)
+          in_new;
+        List.iter
+          (fun (u : Mvstore.txn) ->
+            t.Mvstore.out_rw <- true;
+            u.Mvstore.in_rw <- true;
+            shadow_add tx u.Mvstore.id)
+          out_new
+      end;
+      ignore (Mvstore.commit st t)
+    end
+  in
+  let on_abort tx =
+    (match Mvstore.live_txn st tx with
+    | Some t -> Mvstore.abort st t
+    | None -> ());
+    shadow_purge tx
+  in
+  Scheduler.make ~name:policy.name ~attempt ~commit ~on_abort ()

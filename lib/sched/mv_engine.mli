@@ -1,0 +1,17 @@
+(** Shared skeleton of the multi-version engines over {!Mvstore}.
+
+    A policy record selects the admission rules; {!Mvcc}, {!Si} and
+    {!Ssi} are thin instantiations. Reads never delay (every verdict
+    is Grant or Abort); all abort decisions are pure queries made at
+    the transaction's final step, so the driver's retry protocol stays
+    sound. See the per-engine [.mli]s for semantics and emitted
+    events. *)
+
+type policy = {
+  name : string;
+  fcw : bool;  (** first-committer-wins abort on overlapping writes *)
+  ssi : bool;  (** Fekete dangerous-structure (pivot) abort *)
+}
+
+val create :
+  policy -> ?sink:Obs.Sink.t -> syntax:Core.Syntax.t -> unit -> Scheduler.t

@@ -1,0 +1,17 @@
+(** Multi-version concurrency control without write-conflict detection.
+
+    Every transaction reads from the snapshot pinned at its first step
+    and buffers writes that install at commit, last-committer-wins. No
+    step is ever delayed or aborted: the admitted set is {e all} of
+    [H], the breadth extreme of the paper's optimality trade-off — paid
+    for with lost updates, so the guarantee drops to {e causal
+    consistency} (each snapshot is a commit-order prefix, which is why
+    this is strictly stronger than read-committed; see DESIGN.md for
+    why reading the latest committed version per step would not even be
+    read-atomic). The conformance level is declared in
+    {!Registry} and enforced by [Sim.Check_fuzz].
+
+    Emits [Snapshot_taken], [Version_read] and [Version_installed] in
+    addition to the driver lifecycle. *)
+
+val create : ?sink:Obs.Sink.t -> syntax:Core.Syntax.t -> unit -> Scheduler.t

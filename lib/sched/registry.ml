@@ -4,6 +4,7 @@ type entry = {
   name : string;
   slug : string;
   standard : bool;
+  level : string;
   make : ?sink:Obs.Sink.t -> Syntax.t -> Scheduler.t;
 }
 
@@ -26,8 +27,8 @@ let slug_of_name name =
   let l = String.length s in
   if l > 0 && s.[l - 1] = '-' then String.sub s 0 (l - 1) else s
 
-let entry ?(standard = false) name make =
-  { name; slug = slug_of_name name; standard; make }
+let entry ?(standard = false) ?(level = "ser") name make =
+  { name; slug = slug_of_name name; standard; level; make }
 
 (* The distinguished variable of the 2PL' protocol: the syntax's first
    variable (a fixed nonsense name on a variable-free syntax, where no
@@ -53,6 +54,12 @@ let all =
         Timestamp.create ?sink ~syntax ());
     entry ~standard:true "sharded" (fun ?sink syntax ->
         Sharded.create ?sink ~syntax ());
+    entry ~standard:true ~level:"causal" "MVCC" (fun ?sink syntax ->
+        Mvcc.create ?sink ~syntax ());
+    entry ~standard:true ~level:"si" "SI" (fun ?sink syntax ->
+        Si.create ?sink ~syntax ());
+    entry ~standard:true "SSI" (fun ?sink syntax ->
+        Ssi.create ?sink ~syntax ());
     entry "SGT-ref" (fun ?sink:_ syntax -> Sgt_ref.create ~syntax);
   ]
 

@@ -15,6 +15,13 @@ type entry = {
   name : string;  (** canonical display name *)
   slug : string;  (** CLI-safe lookup key, {!slug_of_name} of [name] *)
   standard : bool;  (** member of the standard measurement suite *)
+  level : string;
+      (** strongest [Analysis.Checker] consistency level every history
+          the engine commits is guaranteed to satisfy, as a
+          [Checker.level_name]: ["ser"] for the single-version
+          schedulers and SSI, ["si"] for SI, ["causal"] for MVCC. A
+          string because [lib/sched] cannot depend on [lib/analysis];
+          [Sim.Check_fuzz] resolves and enforces it per engine. *)
   make : ?sink:Obs.Sink.t -> Syntax.t -> Scheduler.t;
       (** fresh instance over a syntax; the positional [Syntax.t]
           erases the optional sink (warning-16 rule, see {!Scheduler}) *)
@@ -29,7 +36,7 @@ val all : entry list
 
 val standard : entry list
 (** The standard measurement suite, registration order: serial, 2PL,
-    2PL', preclaim, SGT, TO and sharded (K = 4). *)
+    2PL', preclaim, SGT, TO, sharded (K = 4), MVCC, SI and SSI. *)
 
 val names : string list
 (** The slug of every registered scheduler, registration order — what a

@@ -1,0 +1,17 @@
+(** Snapshot isolation: snapshot reads plus first-committer-wins.
+
+    As {!Mvcc}, but a transaction aborts (and restarts under a fresh
+    snapshot) if, at its final step, an overlapping committed
+    transaction has installed a version of anything in its update set
+    — the first committer wins, ruling out lost updates. Write skew
+    between transactions with disjoint update sets still commits, so
+    histories are snapshot-isolation consistent but not serializable;
+    [Sim.Check_fuzz] asserts both directions. Under the paper's pure
+    read-modify-write steps the update set equals the read set and
+    first-committer-wins already forces serializability — anomalies
+    need [Syntax.Read] steps.
+
+    Emits [Ww_refused] before each first-committer-wins abort, plus
+    the {!Mvcc} version events. *)
+
+val create : ?sink:Obs.Sink.t -> syntax:Core.Syntax.t -> unit -> Scheduler.t

@@ -1,0 +1,4 @@
+let create ?sink ~syntax () =
+  Mv_engine.create
+    { Mv_engine.name = "SSI"; fcw = true; ssi = true }
+    ?sink ~syntax ()

@@ -1,0 +1,23 @@
+(** Serializable snapshot isolation (Cahill/Fekete, as in
+    PostgreSQL ≥ 9.1).
+
+    {!Si} plus detection of the Fekete {e dangerous structure}: a
+    transaction with both an incoming and an outgoing rw-antidependency
+    edge to concurrent transactions (the pivot). Edges are discovered
+    at snapshot reads (a concurrent committed transaction overwrote
+    what was read) and at commit (a concurrent transaction read what is
+    being overwritten), persist as sticky in/out conflict flags on the
+    retained transaction records, and any commit that would complete a
+    dangerous structure is refused — so no such structure ever fully
+    commits and every committed history is serializable, which
+    [test/test_mv.ml] verifies against the Herbrand oracle and
+    [Analysis.Checker].
+
+    The flag test is conservative: some aborted pivots would not have
+    closed a serialization cycle. Each [Pivot_refused] event therefore
+    carries [cyclic], computed against a shadow serialization graph
+    (maintained with [Digraph]) that plays no part in the admission
+    decision — [cyclic = false] counts as a false-positive abort in
+    [Sim.Sched_bench]'s multi-version section. *)
+
+val create : ?sink:Obs.Sink.t -> syntax:Core.Syntax.t -> unit -> Scheduler.t

@@ -6,13 +6,24 @@ type outcome = {
   herbrand_agreed : int;
   mutants_total : int;
   mutants_rejected : int;
+  si_write_skews : int;
   failures : string list;
 }
 
 let engines syntax =
   List.map
     (fun (e : Sched.Registry.entry) ->
-      (e.Sched.Registry.slug, fun sink -> e.Sched.Registry.make ~sink syntax))
+      let level =
+        match Checker.level_of_name e.Sched.Registry.level with
+        | Some l -> l
+        | None ->
+          invalid_arg
+            (Printf.sprintf "registry entry %s declares unknown level %S"
+               e.Sched.Registry.slug e.Sched.Registry.level)
+      in
+      ( e.Sched.Registry.slug,
+        level,
+        fun sink -> e.Sched.Registry.make ~sink syntax ))
     Sched.Registry.all
   @ List.filter_map
       (fun k ->
@@ -21,8 +32,53 @@ let engines syntax =
         else
           Some
             ( Printf.sprintf "sharded-k%d" k,
+              Checker.Serializability,
               fun sink -> Sched.Sharded.create ~sink ~shards:k ~syntax () ))
       [ 1; 4; 8 ]
+
+(* The weakest-first prefix of the level ladder up to and including
+   [level] — what an engine declaring [level] must pass. *)
+let levels_upto level =
+  let rec go = function
+    | [] -> []
+    | l :: rest -> if l = level then [ l ] else l :: go rest
+  in
+  go Checker.levels
+
+(* Reconstruct the committed history of a recorded run. Single-version
+   engines: replay the committed schedule (read-latest semantics).
+   Multi-version engines (version events present): take the values the
+   engine actually served from its snapshots — replaying the schedule
+   would misreport every snapshot read. *)
+let history_of_events ~label ?(complete = true) syntax events =
+  let mv = Obs.Fold.mv_history events in
+  if not mv.Obs.Fold.recorded then
+    let fold = Obs.Fold.history events in
+    History.of_steps ~label
+      ~complete:(complete && not fold.Obs.Fold.truncated)
+      syntax fold.Obs.Fold.steps
+  else begin
+    let n = Syntax.n_transactions syntax in
+    let sess =
+      List.init n (fun i ->
+          match List.assoc_opt i mv.Obs.Fold.txns with
+          | Some accs ->
+            [
+              List.map
+                (fun (a : Obs.Fold.mv_access) ->
+                  {
+                    History.kind = (if a.Obs.Fold.write then History.W else History.R);
+                    var = a.Obs.Fold.var;
+                    value = a.Obs.Fold.value;
+                  })
+                accs;
+            ]
+          | None -> [ [] ])
+    in
+    History.make ~label
+      ~complete:(complete && not mv.Obs.Fold.mv_truncated)
+      sess
+  end
 
 (* A rejected mutant needs a witness that replays; which replay applies
    depends on the witness shape. *)
@@ -69,15 +125,19 @@ let check_mutants ~label ~seed h (fails, total, rejected) =
     History.mutations
 
 (* One scheduler run: drive it with a ring sink, reconstruct the
-   committed history from the trace, and put it through the whole
-   gauntlet. *)
-let check_run ~label ~seed syntax mk acc =
+   committed history from the trace, and check it at every level up to
+   the engine's declared one. Engines declaring SER additionally face
+   the Herbrand oracle (pure-RMW syntaxes, small n) and the mutation
+   gauntlet; SI engines feed the positive write-skew counter whenever
+   the checker catches them above their level. *)
+let check_run ~label ~seed ~level syntax mk acc =
   let fmt = Syntax.format syntax in
   let n = Array.length fmt in
   let st = Random.State.make [| seed |] in
   let arrivals = Combin.Interleave.random st fmt in
   let ring = Obs.Sink.Ring.create ~capacity:(1 lsl 16) in
-  let stats = Sched.Driver.run ~sink:(Obs.Sink.Ring.sink ring) (mk (Obs.Sink.Ring.sink ring)) ~fmt ~arrivals in
+  let sink = Obs.Sink.Ring.sink ring in
+  let stats = Sched.Driver.run ~sink (mk sink) ~fmt ~arrivals in
   let events = Obs.Sink.Ring.events ring in
   let fold = Obs.Fold.history events in
   let fails = ref [] in
@@ -94,32 +154,52 @@ let check_run ~label ~seed syntax mk acc =
     fail "Fold.history disagrees with the driver's output schedule";
   if fold.Obs.Fold.commits <> List.init n Fun.id then
     fail "Fold.history commit set incomplete";
-  let h =
-    History.of_steps ~label ~complete:(not fold.Obs.Fold.truncated) syntax
-      fold.Obs.Fold.steps
-  in
+  let mv = Obs.Fold.mv_history events in
+  if mv.Obs.Fold.recorded then begin
+    if mv.Obs.Fold.mv_truncated then
+      fail "mv fold claims truncation on a complete trace";
+    if mv.Obs.Fold.mv_commits <> List.init n Fun.id then
+      fail "mv fold commit set incomplete"
+  end;
+  let h = history_of_events ~label syntax events in
   List.iter
-    (fun (r : Checker.result) ->
+    (fun l ->
+      let r = Checker.check h l in
       match r.Checker.verdict with
       | Checker.Consistent order ->
         if
-          r.Checker.level <> Checker.Snapshot_isolation
-          && not (Checker.validate_order h r.Checker.level order)
-        then
-          fail "%s order does not validate" (Checker.level_name r.Checker.level)
+          l <> Checker.Snapshot_isolation
+          && not (Checker.validate_order h l order)
+        then fail "%s order does not validate" (Checker.level_name l)
       | Checker.Violation _ ->
-        fail "committed history rejected at %s" (Checker.level_name r.Checker.level)
+        fail "committed history rejected at %s" (Checker.level_name l)
       | Checker.Unknown msg ->
-        fail "unknown at %s (%s)" (Checker.level_name r.Checker.level) msg)
-    (Checker.check_all h);
-  let si_order =
-    match (Checker.check h Checker.Snapshot_isolation).Checker.verdict with
-    | Checker.Consistent o -> Checker.validate_order h Checker.Snapshot_isolation o
-    | _ -> true (* already reported above *)
+        fail "unknown at %s (%s)" (Checker.level_name l) msg)
+    (levels_upto level);
+  (if level = Checker.Snapshot_isolation || level = Checker.Serializability
+   then
+     let si_order =
+       match (Checker.check h Checker.Snapshot_isolation).Checker.verdict with
+       | Checker.Consistent o ->
+         Checker.validate_order h Checker.Snapshot_isolation o
+       | _ -> true (* already reported above *)
+     in
+     if not si_order then fail "si order does not validate");
+  let skew =
+    if level <> Checker.Snapshot_isolation then 0
+    else
+      match (Checker.check h Checker.Serializability).Checker.verdict with
+      | Checker.Violation w ->
+        if witness_replays h Checker.Serializability w then 1
+        else begin
+          fail "write-skew witness does not replay";
+          0
+        end
+      | _ -> 0
   in
-  if not si_order then fail "si order does not validate";
   let herb =
-    if n <= 5 then begin
+    if level = Checker.Serializability && n <= 5 && not (Syntax.typed syntax)
+    then begin
       if Herbrand.serializable syntax stats.Sched.Driver.output then true
       else begin
         fail "Herbrand oracle rejects a scheduler output";
@@ -128,17 +208,21 @@ let check_run ~label ~seed syntax mk acc =
     end
     else false
   in
-  let mfails, mtotal, mrejected = check_mutants ~label ~seed h ([], 0, 0) in
+  let mfails, mtotal, mrejected =
+    if level = Checker.Serializability then check_mutants ~label ~seed h ([], 0, 0)
+    else ([], 0, 0)
+  in
   ( { runs = acc.runs + 1;
       herbrand_agreed = (acc.herbrand_agreed + if herb then 1 else 0);
       mutants_total = acc.mutants_total + mtotal;
       mutants_rejected = acc.mutants_rejected + mrejected;
+      si_write_skews = acc.si_write_skews + skew;
       failures = mfails @ !fails @ acc.failures;
     } )
 
 let empty =
   { runs = 0; herbrand_agreed = 0; mutants_total = 0; mutants_rejected = 0;
-    failures = [] }
+    si_write_skews = 0; failures = [] }
 
 let sweep ?(seeds = 100) () =
   let sizes = [| (4, 3); (5, 3); (6, 2); (8, 2) |] in
@@ -147,15 +231,20 @@ let sweep ?(seeds = 100) () =
     let n, m = sizes.(seed mod Array.length sizes) in
     let st = Random.State.make [| seed; 0xf00d |] in
     let syntax =
-      match seed mod 3 with
+      match seed mod 4 with
       | 0 -> Workload.uniform st ~n ~m ~n_vars:(max 2 (n / 2))
       | 1 -> Workload.hotspot st ~n ~m ~n_vars:(max 2 (n / 2)) ~theta:0.8
-      | _ -> Workload.zipf st ~n ~m ~n_vars:(max 2 (n / 2)) ~s:1.2
+      | 2 -> Workload.zipf st ~n ~m ~n_vars:(max 2 (n / 2)) ~s:1.2
+      | _ ->
+        (* the typed mix that makes snapshot-isolation anomalies
+           reachable; see the si write-skew obligation *)
+        Workload.mixed st ~n ~m ~n_vars:(max 2 (n / 2)) ~read_frac:0.5
+          ~theta:0.5
     in
     List.iter
-      (fun (slug, mk) ->
+      (fun (slug, level, mk) ->
         let label = Printf.sprintf "seed %d %s" seed slug in
-        acc := check_run ~label ~seed syntax mk !acc)
+        acc := check_run ~label ~seed ~level syntax mk !acc)
       (engines syntax)
   done;
   { !acc with failures = List.rev !acc.failures }

@@ -3,23 +3,31 @@ open Core
 (** Fuzzing differential between the schedulers and the black-box
     history checker ({!Analysis.Checker}).
 
-    Three obligations, each independently falsifiable:
+    Four obligations, each independently falsifiable:
 
-    - {e soundness of the pipeline}: every history committed by every
-      registered scheduler (plus the sharded engine at several K) must
-      check consistent at {e every} level — scheduler outputs are
-      serializable, and serializability is the strongest level. The
+    - {e conformance}: every history committed by every registered
+      scheduler (plus the sharded engine at several K) must check
+      consistent at every level up to the engine's {e declared} level
+      ({!Sched.Registry.entry.level}) — ["ser"] for the single-version
+      schedulers and SSI, ["si"] for SI, ["causal"] for MVCC. The
       history is reconstructed from the recorded observability trace
-      via {!Obs.Fold.history}, which must itself agree with the
-      driver's output schedule (trace ≡ stats, extended to schedules);
-    - {e sensitivity}: seeded mutations of those histories (swapped
-      reads, dropped writes, rewired reads) must be rejected, with a
-      witness that replays;
+      ({!history_of_events}): multi-version runs from their version
+      events, single-version runs by replaying the committed schedule,
+      which must itself agree with the driver's output (trace ≡ stats,
+      extended to schedules);
+    - {e anomaly realisability}: SI is {e not} serializable, and the
+      sweep must prove it — at least one SI run over the typed
+      read/update mix must be caught as a SER violation (write skew)
+      with a witness that replays ([si_write_skews] > 0 is asserted by
+      the tests);
+    - {e sensitivity}: seeded mutations of the serializable histories
+      (swapped reads, dropped writes, rewired reads) must be rejected,
+      with a witness that replays;
     - {e oracle agreement}: wherever the brute-force Herbrand test
-      applies (small n), it and the checker must agree — and on
-      exhaustive small universes they must agree on {e every} schedule,
-      with per-level ground truth from {!Analysis.Checker.exists_order}
-      on the smallest ones.
+      applies (SER-level engines, pure-RMW syntaxes, small n), it and
+      the checker must agree — and on exhaustive small universes they
+      must agree on {e every} schedule, with per-level ground truth
+      from {!Analysis.Checker.exists_order} on the smallest ones.
 
     Any broken obligation lands in [failures] as a labelled message;
     the tests assert the list is empty. *)
@@ -29,15 +37,40 @@ type outcome = {
   herbrand_agreed : int;  (** runs also confirmed by the oracle *)
   mutants_total : int;
   mutants_rejected : int;
+  si_write_skews : int;
+      (** runs of SI-level engines whose history the checker caught as
+          a SER violation with a replaying witness — the positive
+          control that write skew is reachable *)
   failures : string list;
 }
 
-val engines : Syntax.t -> (string * (Obs.Sink.t -> Sched.Scheduler.t)) list
-(** Every registry entry plus the sharded engine at K ∈ {1, 4, 8}. *)
+val engines :
+  Syntax.t ->
+  (string * Analysis.Checker.level * (Obs.Sink.t -> Sched.Scheduler.t)) list
+(** Every registry entry with its declared consistency level resolved
+    via {!Analysis.Checker.level_of_name}, plus the sharded engine at
+    K ∈ {1, 8} (K = 4 is the registry's own entry), declared
+    serializable. *)
+
+val history_of_events :
+  label:string ->
+  ?complete:bool ->
+  Syntax.t ->
+  (float * Obs.Event.t) list ->
+  Analysis.History.t
+(** Committed history of a recorded run. When version events are
+    present ({!Obs.Fold.mv_history}), the history carries the values
+    the multi-version engine actually served from its snapshots;
+    otherwise the committed schedule is replayed under read-latest
+    semantics ({!Analysis.History.of_steps}). Pass [~complete:false]
+    when the ring dropped events; fold-detected truncation is folded
+    in either way. *)
 
 val sweep : ?seeds:int -> unit -> outcome
 (** The seeded sweep (default 100 seeds). Workload mixes and sizes
-    rotate deterministically per seed. *)
+    rotate deterministically per seed; every fourth seed uses the typed
+    {!Workload.mixed} read/update mix that makes snapshot-isolation
+    anomalies reachable. *)
 
 val exhaustive : unit -> outcome
 (** Every schedule of a fixed family of small universes, checked

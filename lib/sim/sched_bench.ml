@@ -10,6 +10,9 @@ type spec = {
   shard_ks : int list;
   shard_sizes : (int * int) list;
   shard_mixes : string list;
+  mv_sizes : (int * int) list;
+  mv_mixes : string list;
+  mv_samples : int;
 }
 
 type row = {
@@ -33,6 +36,9 @@ let default =
     shard_ks = [ 1; 2; 4; 8 ];
     shard_sizes = [ (64, 2); (256, 2); (2048, 2) ];
     shard_mixes = [ "disjoint"; "hot"; "skewed" ];
+    mv_sizes = [ (4, 3); (6, 3); (8, 2) ];
+    mv_mixes = [ "rw-uniform"; "rw-hot"; "rw-readmost" ];
+    mv_samples = 200;
   }
 
 let smoke =
@@ -46,6 +52,9 @@ let smoke =
     shard_ks = [ 4 ];
     shard_sizes = [ (8, 2) ];
     shard_mixes = [ "disjoint" ];
+    mv_sizes = [ (3, 2) ];
+    mv_mixes = [ "rw-hot" ];
+    mv_samples = 20;
   }
 
 let syntax_of_mix st ~mix ~n ~m ~n_vars =
@@ -56,9 +65,20 @@ let syntax_of_mix st ~mix ~n ~m ~n_vars =
   | "disjoint" ->
     ignore (st : Random.State.t);
     Workload.disjoint ~n ~m
+  | "rw-uniform" ->
+    Workload.mixed st ~n ~m ~n_vars ~read_frac:0.6
+      ~theta:(1.0 /. float_of_int n_vars)
+  | "rw-hot" -> Workload.mixed st ~n ~m ~n_vars ~read_frac:0.6 ~theta:0.8
+  (* read-mostly with a mild hot spot: updates spread enough that
+     first-committer-wins stays quiet while crossing reads still build
+     dangerous structures — the mix that exercises SSI's pivot aborts
+     (including its false positives) rather than FCW *)
+  | "rw-readmost" ->
+    Workload.mixed st ~n ~m ~n_vars ~read_frac:0.8 ~theta:0.3
   | name ->
     invalid_arg
-      ("unknown workload mix " ^ name ^ " (uniform, hot, skewed, disjoint)")
+      ("unknown workload mix " ^ name
+     ^ " (uniform, hot, skewed, disjoint, rw-uniform, rw-hot, rw-readmost)")
 
 let schedulers syntax =
   [
@@ -151,6 +171,93 @@ let run_section spec ~mixes ~sizes ~named_of_syntax =
         sizes)
     mixes
 
+(* The multi-version section pits single-version SGT against the MV
+   family on typed read/update mixes — the workloads where snapshot
+   reads actually buy admission breadth. *)
+let mv_schedulers syntax =
+  [
+    ("SGT", fun sink -> Sched.Sgt.create ~sink ~syntax ());
+    ("MVCC", fun sink -> Sched.Mvcc.create ~sink ~syntax ());
+    ("SI", fun sink -> Sched.Si.create ~sink ~syntax ());
+    ("SSI", fun sink -> Sched.Ssi.create ~sink ~syntax ());
+  ]
+
+let mv_timing syntax =
+  List.map
+    (fun (name, mk) -> (name, fun () -> mk Obs.Sink.null))
+    (mv_schedulers syntax)
+
+type mv_stat = {
+  mv_scheduler : string;
+  mv_mix : string;
+  mv_n : int;
+  mv_m : int;
+  breadth : float;
+  mv_commits : int;
+  ww_aborts : int;
+  pivot_aborts : int;
+  false_positive_aborts : int;
+}
+
+let mv_stats spec =
+  List.concat_map
+    (fun mix ->
+      List.concat_map
+        (fun (n, m) ->
+          (* same cell discipline as the timing sections: one
+             deterministic syntax and arrival-stream set per cell,
+             shared by every engine *)
+          let st =
+            Random.State.make [| spec.seed; Hashtbl.hash mix; n; m; 0x6d76 |]
+          in
+          let syntax = syntax_of_mix st ~mix ~n ~m ~n_vars:spec.n_vars in
+          let fmt = Syntax.format syntax in
+          let arrivals =
+            Array.init spec.streams (fun _ -> Combin.Interleave.random st fmt)
+          in
+          List.map
+            (fun (name, mk) ->
+              let breadth =
+                Sched.Driver.zero_delay_fraction
+                  (fun () -> mk Obs.Sink.null)
+                  ~fmt ~samples:spec.mv_samples ~seed:spec.seed
+              in
+              let ww = ref 0 and pivot = ref 0 in
+              let fp = ref 0 and commits = ref 0 in
+              let sink =
+                {
+                  Obs.Sink.now = 0.;
+                  enabled = true;
+                  emit =
+                    (fun _ e ->
+                      match e with
+                      | Obs.Event.Ww_refused _ -> incr ww
+                      | Obs.Event.Pivot_refused { cyclic; _ } ->
+                        incr pivot;
+                        if not cyclic then incr fp
+                      | Obs.Event.Committed _ -> incr commits
+                      | _ -> ());
+                }
+              in
+              Array.iter
+                (fun a ->
+                  ignore (Sched.Driver.run ~sink (mk sink) ~fmt ~arrivals:a))
+                arrivals;
+              {
+                mv_scheduler = name;
+                mv_mix = mix;
+                mv_n = n;
+                mv_m = m;
+                breadth;
+                mv_commits = !commits;
+                ww_aborts = !ww;
+                pivot_aborts = !pivot;
+                false_positive_aborts = !fp;
+              })
+            (mv_schedulers syntax))
+        spec.mv_sizes)
+    spec.mv_mixes
+
 let sharded_name k = Printf.sprintf "sharded-k%d" k
 
 (* The sharded section compares monolithic SGT against the sharded
@@ -170,6 +277,10 @@ let sharded_schedulers ks syntax =
 let run spec =
   run_section spec ~mixes:spec.mixes ~sizes:spec.sizes
     ~named_of_syntax:schedulers
+  @ (match (spec.mv_mixes, spec.mv_sizes) with
+    | [], _ | _, [] -> []
+    | mixes, sizes ->
+      run_section spec ~mixes ~sizes ~named_of_syntax:mv_timing)
   @
   match spec.shard_ks with
   | [] -> []
@@ -242,7 +353,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let to_json spec rows =
+let to_json ?(mv = []) spec rows =
   let b = Buffer.create 4096 in
   let add = Buffer.add_string b in
   add "{\n";
@@ -285,7 +396,23 @@ let to_json spec rows =
            m k ratio
            (if i = List.length ssp - 1 then "" else ",")))
     ssp;
-  add "  }\n";
+  add "  },\n";
+  add
+    (Printf.sprintf "  \"mv_section\": {\n    \"samples\": %d,\n    \"results\": [\n"
+       spec.mv_samples);
+  List.iteri
+    (fun i s ->
+      add
+        (Printf.sprintf
+           "      { \"scheduler\": \"%s\", \"mix\": \"%s\", \"n\": %d, \"m\": \
+            %d, \"breadth\": %.4f, \"commits\": %d, \"ww_aborts\": %d, \
+            \"pivot_aborts\": %d, \"false_positive_aborts\": %d }%s\n"
+           (json_escape s.mv_scheduler) (json_escape s.mv_mix) s.mv_n s.mv_m
+           s.breadth s.mv_commits s.ww_aborts s.pivot_aborts
+           s.false_positive_aborts
+           (if i = List.length mv - 1 then "" else ",")))
+    mv;
+  add "    ]\n  }\n";
   add "}\n";
   Buffer.contents b
 
@@ -504,3 +631,17 @@ let pp_rows ppf rows =
       (fun (mix, n, m, k, ratio) ->
         Format.fprintf ppf "  %-8s %3dx%-3d K=%-2d %6.2fx@." mix n m k ratio)
       ssp
+
+let pp_mv_stats ppf stats =
+  match stats with
+  | [] -> ()
+  | stats ->
+    Format.fprintf ppf "@.multi-version admission (|P|/|H| and aborts):@.";
+    Format.fprintf ppf "%-10s %-8s %6s %9s %8s %6s %6s %9s@." "mix" "sched"
+      "n x m" "breadth" "commits" "ww" "pivot" "false-pos";
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "%-10s %-8s %3dx%-3d %9.3f %8d %6d %6d %9d@."
+          s.mv_mix s.mv_scheduler s.mv_n s.mv_m s.breadth s.mv_commits
+          s.ww_aborts s.pivot_aborts s.false_positive_aborts)
+      stats

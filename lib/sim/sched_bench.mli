@@ -31,6 +31,13 @@ type spec = {
           takes seconds, starving every other cell — while disjoint
           cells run at every size to expose the scaling *)
   shard_mixes : string list;       (** mixes of the sharded section *)
+  mv_sizes : (int * int) list;
+      (** multi-version section sizes ([[]] disables the section) *)
+  mv_mixes : string list;
+      (** multi-version section mixes, typically the typed
+          ["rw-uniform"]/["rw-hot"] read/update mixes *)
+  mv_samples : int;
+      (** Monte-Carlo samples behind each [breadth] estimate *)
 }
 
 type row = {
@@ -59,6 +66,31 @@ val syntax_of_mix :
     on an unknown mix. *)
 
 val run : spec -> row list
+(** Timing rows: the single-version section, the multi-version section
+    (SGT vs MVCC/SI/SSI over [mv_mixes] x [mv_sizes]) and the sharded
+    section. *)
+
+type mv_stat = {
+  mv_scheduler : string;
+  mv_mix : string;
+  mv_n : int;
+  mv_m : int;
+  breadth : float;
+      (** Monte-Carlo [|P| / |H|] ({!Sched.Driver.zero_delay_fraction})
+          — the paper's admission-breadth measure, §6 *)
+  mv_commits : int;  (** committed transactions over the cell's streams *)
+  ww_aborts : int;   (** first-committer-wins refusals ([Ww_refused]) *)
+  pivot_aborts : int;
+      (** SSI dangerous-structure refusals ([Pivot_refused]) *)
+  false_positive_aborts : int;
+      (** pivot refusals whose serialization graph was acyclic — the
+          admissions SSI gives up versus an exact certifier *)
+}
+
+val mv_stats : spec -> mv_stat list
+(** The multi-version admission table: per cell and engine, breadth
+    plus commit/abort counts from a traced pass over the cell's arrival
+    streams. Empty when the section is disabled. *)
 
 val speedups : row list -> (string * int * int * float) list
 (** [(mix, n, m, sgt_req_per_sec / sgt_ref_req_per_sec)] per cell. *)
@@ -67,10 +99,10 @@ val sharded_speedups : row list -> (string * int * int * int * float) list
 (** [(mix, n, m, K, sharded_req_per_sec / sgt_req_per_sec)] per sharded
     cell. *)
 
-val to_json : spec -> row list -> string
+val to_json : ?mv:mv_stat list -> spec -> row list -> string
 (** Hand-emitted JSON: [{"benchmark", "unit", "config", "results":
     [row...], "sgt_speedup_vs_ref": {...},
-    "sharded_speedup_vs_sgt": {...}}]. *)
+    "sharded_speedup_vs_sgt": {...}, "mv_section": {...}}]. *)
 
 val json_well_formed : string -> bool
 (** Minimal JSON well-formedness check (full-string parse) used by the
@@ -90,3 +122,4 @@ val merge_preserving : existing:string -> string -> string
     leaves [fresh] unchanged. *)
 
 val pp_rows : Format.formatter -> row list -> unit
+val pp_mv_stats : Format.formatter -> mv_stat list -> unit

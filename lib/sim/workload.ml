@@ -32,6 +32,22 @@ let zipf st ~n ~m ~n_vars ~s =
   in
   Syntax.make (Array.init n (fun _ -> Array.init m (fun _ -> pick ())))
 
+let mixed st ~n ~m ~n_vars ~read_frac ~theta =
+  if n_vars < 2 then invalid_arg "Workload.mixed: needs >= 2 variables";
+  let vars = Array.of_list (var_pool n_vars) in
+  let pick () =
+    if Random.State.float st 1.0 < theta then vars.(0)
+    else vars.(1 + Random.State.int st (n_vars - 1))
+  in
+  let step () =
+    let k =
+      if Random.State.float st 1.0 < read_frac then Syntax.Read
+      else Syntax.Update
+    in
+    (k, pick ())
+  in
+  Syntax.make_typed (Array.init n (fun _ -> Array.init m (fun _ -> step ())))
+
 let disjoint ~n ~m =
   Syntax.make
     (Array.init n (fun i -> Array.make m (Printf.sprintf "v%d" i)))

@@ -25,6 +25,15 @@ val zipf : Random.State.t -> n:int -> m:int -> n_vars:int -> s:float -> Syntax.t
     [s = 0.0] degenerates to uniform; larger [s] concentrates accesses
     on the low-numbered variables. *)
 
+val mixed :
+  Random.State.t ->
+  n:int -> m:int -> n_vars:int -> read_frac:float -> theta:float -> Syntax.t
+(** Typed read/update mix over a {!hotspot}-shaped variable
+    distribution: each step is a [Syntax.Read] with probability
+    [read_frac] and an RMW [Update] otherwise. The workload that makes
+    snapshot-isolation anomalies (write skew) reachable — under pure
+    RMW, first-committer-wins already implies serializability. *)
+
 val disjoint : n:int -> m:int -> Syntax.t
 (** Transaction [i] only touches its own variable — the zero-contention
     extreme. *)

@@ -26,4 +26,5 @@ let () =
       ("recovery", Test_recovery.suite);
       ("analysis", Test_analysis.suite);
       ("checker", Test_checker.suite);
+      ("mv", Test_mv.suite);
     ]

@@ -8,9 +8,11 @@
    differential against the Herbrand oracle plus brute-force
    permutation ground truth ([Sim.Check_fuzz.exhaustive]), and the
    100-seed every-scheduler sweep in which each committed history must
-   check out at every level, the trace-reconstructed schedule must
-   equal the driver's, and every seeded mutant must be rejected with a
-   replaying witness ([Sim.Check_fuzz.sweep]). *)
+   check out at every level up to the engine's declared one, the
+   trace-reconstructed schedule must equal the driver's, every seeded
+   mutant of a serializable history must be rejected with a replaying
+   witness, and SI must be caught committing at least one write skew
+   ([Sim.Check_fuzz.sweep]). *)
 
 open Util
 open Core
@@ -253,10 +255,14 @@ let test_sweep () =
   let o = Sim.Check_fuzz.sweep ~seeds:100 () in
   List.iter print_endline o.Sim.Check_fuzz.failures;
   check_true "sweep failures" (o.Sim.Check_fuzz.failures = []);
-  check_int "sweep runs" 1000 o.Sim.Check_fuzz.runs;
+  check_int "sweep runs"
+    (100 * List.length (Sim.Check_fuzz.engines (syn "xy,yx")))
+    o.Sim.Check_fuzz.runs;
   check_true "sweep mutants exist" (o.Sim.Check_fuzz.mutants_total > 0);
   check_int "sweep mutants rejected" o.Sim.Check_fuzz.mutants_total
-    o.Sim.Check_fuzz.mutants_rejected
+    o.Sim.Check_fuzz.mutants_rejected;
+  check_true "sweep herbrand coverage" (o.Sim.Check_fuzz.herbrand_agreed > 100);
+  check_true "si write skew reachable" (o.Sim.Check_fuzz.si_write_skews > 0)
 
 let suite =
   [

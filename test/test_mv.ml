@@ -1,0 +1,377 @@
+(* The multi-version scheduler family ([Sched.Mvcc]/[Si]/[Ssi]) against
+   its independent oracles.
+
+   Three layers, mirroring ISSUE/DESIGN "Multi-version engines":
+
+   - the version store itself, model-checked against a naive
+     association-list store: snapshot reads return the newest committed
+     version at or before the snapshot, first-committer-wins fires iff
+     an overlapping committed writer exists, and version chains are
+     pruned exactly down to what some live snapshot can still reach;
+   - differential oracles on micro-universes: on pure-RMW universes
+     every history SSI commits is Herbrand-serializable and checker-SER;
+     on a curated typed universe SSI's fixpoint set strictly contains
+     SGT's (snapshot reads commute where single-version conflicts
+     cannot); on disjoint workloads SI admits everything SGT admits;
+     and one universe exhibits SSI's documented incompleteness — a
+     dangerous structure without a cycle, aborted anyway and flagged
+     [Pivot_refused { cyclic = false }];
+   - a write-skew regression corpus: the classic anomalies are
+     SI-accepted (checker: SI-consistent, SER-violating with a
+     replaying witness) and SSI-aborted (restart, serializable
+     output). *)
+
+open Util
+open Core
+module C = Analysis.Checker
+module H = Analysis.History
+module Mv = Sched.Mvstore
+
+let syn = Analysis.Analyze.parse_syntax
+
+(* -------------------------------------------------------------- *)
+(* Version-store model checking                                    *)
+(* -------------------------------------------------------------- *)
+
+(* The naive model: committed versions per variable, newest first. *)
+type mversion = { mts : int; mvalue : int; mwriter : int }
+
+type model = {
+  mutable chains : (Names.var * mversion list) list;
+  mutable mclock : int;
+}
+
+let model_read_at md x ~snap =
+  match List.assoc_opt x md.chains with
+  | None -> Mv.initial_value
+  | Some vs -> (
+    match List.find_opt (fun v -> v.mts <= snap) vs with
+    | Some v -> v.mvalue
+    | None -> Mv.initial_value)
+
+let model_writer_at md x ~snap =
+  match List.assoc_opt x md.chains with
+  | None -> None
+  | Some vs -> (
+    match List.find_opt (fun v -> v.mts <= snap) vs with
+    | Some v -> Some v.mwriter
+    | None -> None)
+
+let model_ww_conflict md ~snap ~excluding vars =
+  List.exists
+    (fun x ->
+      match List.assoc_opt x md.chains with
+      | None -> false
+      | Some vs ->
+        List.exists (fun v -> v.mts > snap && v.mwriter <> excluding) vs)
+    vars
+
+let model_commit md id writes =
+  md.mclock <- md.mclock + 1;
+  let ts = md.mclock in
+  List.iter
+    (fun (x, value) ->
+      let prev = Option.value ~default:[] (List.assoc_opt x md.chains) in
+      md.chains <-
+        (x, { mts = ts; mvalue = value; mwriter = id } :: prev)
+        :: List.remove_assoc x md.chains)
+    writes;
+  ts
+
+(* What the store's chain must look like after pruning at [s_min]:
+   every version some snapshot >= s_min can reach — the ones newer than
+   s_min plus the newest at or before it. *)
+let model_visible md x ~s_min =
+  match List.assoc_opt x md.chains with
+  | None -> []
+  | Some vs ->
+    let newer = List.filter (fun v -> v.mts > s_min) vs in
+    (match List.find_opt (fun v -> v.mts <= s_min) vs with
+    | Some v -> newer @ [ v ]
+    | None -> newer)
+
+let mv_vars = [ "x"; "y"; "z" ]
+
+let test_mvstore_model () =
+  for seed = 0 to 149 do
+    let st = rng seed in
+    let store = Mv.create () in
+    let md = { chains = []; mclock = 0 } in
+    (* live transactions with their model-side buffered writes *)
+    let live = ref [] in
+    let next_id = ref 0 in
+    let pick l = List.nth l (Random.State.int st (List.length l)) in
+    let buffered buf x = List.assoc_opt x !buf in
+    for _op = 1 to 120 do
+      (match Random.State.int st 6 with
+      | 0 | 1 when List.length !live < 4 ->
+        let id = !next_id in
+        incr next_id;
+        let t = Mv.begin_txn store id in
+        check_int "snapshot pins the clock" (Mv.clock store) (Mv.snapshot t);
+        live := (t, ref []) :: !live
+      | 2 when !live <> [] ->
+        (* read: own buffer first, else newest committed <= snapshot *)
+        let t, buf = pick !live in
+        let x = pick mv_vars in
+        let value, writer = Mv.read store t x in
+        (match buffered buf x with
+        | Some v ->
+          check_int "own-buffer read" v value;
+          check_true "own-buffer read has no writer" (writer = None)
+        | None ->
+          check_int "snapshot read value"
+            (model_read_at md x ~snap:(Mv.snapshot t))
+            value;
+          check_true "snapshot read writer"
+            (writer = model_writer_at md x ~snap:(Mv.snapshot t)))
+      | 3 when !live <> [] ->
+        let t, buf = pick !live in
+        let x = pick mv_vars in
+        let v = Mv.write store t x in
+        buf := (x, v) :: List.remove_assoc x !buf
+      | 4 when !live <> [] ->
+        (* commit attempt: the FCW probe must agree with the model;
+           commit regardless (the store is policy-free — MVCC installs
+           over conflicts, exercising lost updates too) *)
+        let t, buf = pick !live in
+        let vars = List.map fst !buf in
+        let fired =
+          Mv.ww_conflict store ~snap:(Mv.snapshot t)
+            ~excluding:t.Mv.id vars
+          <> None
+        in
+        check_true "first-committer-wins iff overlapping committed writer"
+          (fired
+          = model_ww_conflict md ~snap:(Mv.snapshot t) ~excluding:t.Mv.id
+              vars);
+        let ts = Mv.commit store t in
+        let mts = model_commit md t.Mv.id !buf in
+        check_int "commit timestamps advance in lockstep" mts ts;
+        check_int "store clock follows" md.mclock (Mv.clock store);
+        live := List.filter (fun (u, _) -> u != t) !live
+      | _ when !live <> [] ->
+        let t, _ = pick !live in
+        Mv.abort store t;
+        live := List.filter (fun (u, _) -> u != t) !live
+      | _ -> ());
+      (* pruning invariant: chains hold exactly what a live snapshot
+         (or the present) can still reach *)
+      let s_min =
+        match Mv.min_live_snapshot store with
+        | Some s -> s
+        | None -> Mv.clock store
+      in
+      List.iter
+        (fun x ->
+          let got =
+            List.map
+              (fun (v : Mv.version) ->
+                { mts = v.Mv.ts; mvalue = v.Mv.value; mwriter = v.Mv.writer })
+              (Mv.chain store x)
+          in
+          check_true "chain pruned to reachable versions"
+            (got = model_visible md x ~s_min))
+        mv_vars;
+      (* spot-check snapshot reads over every reachable timestamp *)
+      List.iter
+        (fun x ->
+          for snap = s_min to Mv.clock store do
+            check_int "read_at agrees with the model"
+              (model_read_at md x ~snap)
+              (Mv.read_at store x ~snap)
+          done)
+        mv_vars
+    done
+  done
+
+(* -------------------------------------------------------------- *)
+(* Differential oracles on micro-universes                         *)
+(* -------------------------------------------------------------- *)
+
+let ser_consistent h =
+  match (C.check h C.Serializability).C.verdict with
+  | C.Consistent o -> C.validate_order h C.Serializability o
+  | _ -> false
+
+let witness_replays h level (w : C.witness) =
+  match w with
+  | C.Cycle edges -> C.replay_cycle h level edges
+  | C.No_order _ -> H.n h > 8 || not (C.exists_order h level)
+  | (C.Dangling_read _ | C.Ambiguous_write _ | C.Internal_misread _) as w ->
+    List.mem w (C.well_formed h)
+
+(* Drive one engine over an explicit arrival order, with the trace
+   recorded so the committed history can be reconstructed. *)
+let run_mv mk syntax arrivals =
+  let ring = Obs.Sink.Ring.create ~capacity:(1 lsl 14) in
+  let sink = Obs.Sink.Ring.sink ring in
+  let stats =
+    Sched.Driver.run ~sink (mk sink syntax) ~fmt:(Syntax.format syntax)
+      ~arrivals
+  in
+  let events = Obs.Sink.Ring.events ring in
+  check_int "no ring drops" 0 (Obs.Sink.Ring.dropped ring);
+  (stats, events, Sim.Check_fuzz.history_of_events ~label:"mv" syntax events)
+
+let mvcc sink syntax = Sched.Mvcc.create ~sink ~syntax ()
+let si sink syntax = Sched.Si.create ~sink ~syntax ()
+let ssi sink syntax = Sched.Ssi.create ~sink ~syntax ()
+
+let arrivals_of sched =
+  Array.map (fun (s : Names.step_id) -> s.Names.tx) sched
+
+(* On pure-RMW syntaxes first-committer-wins forces read-latest, so
+   SSI's committed output schedule is exactly a single-version
+   execution: the Herbrand oracle applies to it, and the trace-side
+   history must be checker-serializable. *)
+let test_ssi_herbrand_exhaustive () =
+  List.iter
+    (fun spec ->
+      let syntax = syn spec in
+      List.iter
+        (fun sched ->
+          let stats, _, h = run_mv ssi syntax (arrivals_of sched) in
+          check_true
+            (spec ^ ": SSI output Herbrand-serializable")
+            (Herbrand.serializable syntax stats.Sched.Driver.output);
+          check_true (spec ^ ": SSI history checker-SER") (ser_consistent h))
+        (Schedule.all (Syntax.format syntax)))
+    [ "x,x"; "xy,yx"; "xx,x"; "x,x,x"; "xy,y"; "xyz,zx" ]
+
+let fixpoint mk syntax =
+  Sched.Driver.fixpoint_of
+    (fun () -> mk Obs.Sink.null syntax)
+    (Syntax.format syntax)
+
+let subset a b = List.for_all (fun s -> List.mem s b) a
+
+(* T0 = [U x, U y] vs the read-only T1 = [R y, R x]: every
+   single-version interleaving T1.0 < T0.1 and T0.0 < T1.1 is a
+   conflict cycle SGT must break, but T1's snapshot reads serialize it
+   before T0 regardless of arrival — SSI admits every schedule. *)
+let test_ssi_fixpoint_strictly_contains_sgt () =
+  let syntax = syn "xy,YX" in
+  let sgt sink syntax = Sched.Sgt.create ~sink ~syntax () in
+  let fp_sgt = fixpoint sgt syntax in
+  let fp_ssi = fixpoint ssi syntax in
+  check_true "SGT fixpoint inside SSI's" (subset fp_sgt fp_ssi);
+  check_int "SSI admits the whole universe"
+    (List.length (Schedule.all (Syntax.format syntax)))
+    (List.length fp_ssi);
+  check_true "containment is strict"
+    (List.length fp_ssi > List.length fp_sgt)
+
+(* Disjoint transactions never conflict: SI (no shared update, so
+   first-committer-wins never fires) admits everything SGT does. *)
+let test_si_fixpoint_contains_sgt_on_disjoint () =
+  let syntax = Sim.Workload.disjoint ~n:3 ~m:2 in
+  let sgt sink syntax = Sched.Sgt.create ~sink ~syntax () in
+  let fp_sgt = fixpoint sgt syntax in
+  let fp_si = fixpoint si syntax in
+  check_true "SGT fixpoint inside SI's" (subset fp_sgt fp_si);
+  check_int "SI admits the whole disjoint universe"
+    (List.length (Schedule.all (Syntax.format syntax)))
+    (List.length fp_si)
+
+(* MVCC never delays and never aborts: its fixpoint set is the whole
+   universe even where every single-version engine must intervene. *)
+let test_mvcc_fixpoint_is_everything () =
+  let syntax = syn "xy,yx" in
+  check_int "MVCC fixpoint = H"
+    (List.length (Schedule.all (Syntax.format syntax)))
+    (List.length (fixpoint mvcc syntax))
+
+(* SSI's documented incompleteness: T0 = [R y], T1 = [R z, U y],
+   T2 = [U z] with T2 and T0 committing inside T1 builds the dangerous
+   structure T0 -rw-> T1 -rw-> T2 with no cycle behind it. SSI aborts
+   T1 anyway and must classify the abort as a false positive; SI runs
+   the same arrivals untouched and commits a serializable history. *)
+let test_ssi_false_positive_abort () =
+  let syntax = syn "Y,Zy,z" in
+  let arrivals = [| 1; 2; 0; 1 |] in
+  let stats, events, h = run_mv ssi syntax arrivals in
+  check_int "SSI aborts the pivot" 1 stats.Sched.Driver.restarts;
+  check_true "abort flagged as false positive"
+    (List.exists
+       (fun (_, e) ->
+         match e with
+         | Obs.Event.Pivot_refused { cyclic = false; _ } -> true
+         | _ -> false)
+       events);
+  check_true "SSI output still serializable" (ser_consistent h);
+  let stats_si, _, h_si = run_mv si syntax arrivals in
+  check_int "SI accepts the same arrivals" 0 stats_si.Sched.Driver.restarts;
+  check_true "and its history was serializable all along"
+    (ser_consistent h_si)
+
+(* -------------------------------------------------------------- *)
+(* Write-skew regression corpus                                    *)
+(* -------------------------------------------------------------- *)
+
+(* Anomalies from the snapshot-isolation literature, as typed syntaxes
+   (uppercase = read) with a fixed arrival order that exhibits them. *)
+let corpus =
+  [
+    (* two constraints-checking writers, disjoint write sets *)
+    ("classic write skew", "Yx,Xy", [| 0; 1; 0; 1 |]);
+    (* Fekete-O'Neil-O'Neil: the read-only T1 observes T2's update but
+       not T0's, in no serial order consistent with T0 reading x before
+       T2 wrote it *)
+    ("read-only transaction anomaly", "Xy,XY,x", [| 0; 2; 1; 1; 0 |]);
+    (* the on-call rota: both doctors check both flags, each clears
+       only their own *)
+    ("on-call rota", "XYx,XYy", [| 0; 1; 0; 1; 0; 1 |]);
+  ]
+
+let test_corpus_si_accepts_ssi_aborts () =
+  List.iter
+    (fun (name, spec, arrivals) ->
+      let syntax = syn spec in
+      (* SI: committed untouched, SI-consistent, SER-violating with a
+         witness that replays *)
+      let stats, _, h = run_mv si syntax arrivals in
+      check_int (name ^ ": SI accepts") 0 stats.Sched.Driver.restarts;
+      check_true
+        (name ^ ": SI-consistent")
+        (match (C.check h C.Snapshot_isolation).C.verdict with
+        | C.Consistent _ -> true
+        | _ -> false);
+      (match (C.check h C.Serializability).C.verdict with
+      | C.Violation w ->
+        check_true
+          (name ^ ": SER witness replays")
+          (witness_replays h C.Serializability w)
+      | _ -> check_true (name ^ ": SER violation expected") false);
+      (* SSI: the pivot aborts (a genuine cycle), the retry commits a
+         serializable history *)
+      let stats, events, h = run_mv ssi syntax arrivals in
+      check_true (name ^ ": SSI aborts") (stats.Sched.Driver.restarts >= 1);
+      check_true
+        (name ^ ": abort is a dangerous structure with a real cycle")
+        (List.exists
+           (fun (_, e) ->
+             match e with
+             | Obs.Event.Pivot_refused { cyclic = true; _ } -> true
+             | _ -> false)
+           events);
+      check_true (name ^ ": SSI output serializable") (ser_consistent h))
+    corpus
+
+let suite =
+  [
+    Alcotest.test_case "version store vs naive model" `Quick
+      test_mvstore_model;
+    Alcotest.test_case "SSI = Herbrand on exhaustive RMW universes" `Quick
+      test_ssi_herbrand_exhaustive;
+    Alcotest.test_case "SSI fixpoint strictly contains SGT's" `Quick
+      test_ssi_fixpoint_strictly_contains_sgt;
+    Alcotest.test_case "SI fixpoint contains SGT's (disjoint)" `Quick
+      test_si_fixpoint_contains_sgt_on_disjoint;
+    Alcotest.test_case "MVCC fixpoint is the whole universe" `Quick
+      test_mvcc_fixpoint_is_everything;
+    Alcotest.test_case "SSI false-positive abort" `Quick
+      test_ssi_false_positive_abort;
+    Alcotest.test_case "write-skew corpus: SI accepts, SSI aborts" `Quick
+      test_corpus_si_accepts_ssi_aborts;
+  ]

@@ -77,6 +77,27 @@ let test_standard_subset () =
     | Some e -> e.Sched.Registry.standard
     | None -> false)
 
+let test_declared_levels () =
+  (* every declared level resolves in the checker's ladder, and the
+     multi-version family is registered, standard, and declares the
+     guarantees its conformance tests enforce *)
+  List.iter
+    (fun (e : Sched.Registry.entry) ->
+      check_true
+        (e.Sched.Registry.slug ^ " level resolves")
+        (Analysis.Checker.level_of_name e.Sched.Registry.level <> None))
+    Sched.Registry.all;
+  List.iter
+    (fun (slug, level) ->
+      match Sched.Registry.find slug with
+      | Some e ->
+        check_true (slug ^ " standard") e.Sched.Registry.standard;
+        check_true
+          (slug ^ " declares " ^ level)
+          (e.Sched.Registry.level = level)
+      | None -> check_true (slug ^ " registered") false)
+    [ ("mvcc", "causal"); ("si", "si"); ("ssi", "ser"); ("sgt", "ser") ]
+
 let test_find_exn_lists_names () =
   match Sched.Registry.find_exn "no-such-engine" with
   | _ -> check_true "should have raised" false
@@ -120,6 +141,8 @@ let suite =
     Alcotest.test_case "slugs unique and derived" `Quick
       test_slugs_unique_and_derived;
     Alcotest.test_case "standard subset flags" `Quick test_standard_subset;
+    Alcotest.test_case "declared consistency levels" `Quick
+      test_declared_levels;
     Alcotest.test_case "find_exn lists every name" `Quick
       test_find_exn_lists_names;
     Alcotest.test_case "trace pipeline resolves via registry" `Quick

@@ -96,7 +96,9 @@ let test_standard_suite_runs () =
       (Sim.Measure.standard_suite syntax)
       ~fmt:(Syntax.format syntax) ~samples:50 ~seed:3
   in
-  check_int "seven rows" 7 (List.length rows);
+  check_int "one row per standard engine"
+    (List.length Sched.Registry.standard)
+    (List.length rows);
   let table = Format.asprintf "%a" Sim.Measure.pp_rows rows in
   check_true "renders" (String.length table > 0)
 

@@ -219,7 +219,10 @@ let test_slugs () =
   let runs = Sim.Trace_run.execute (spec ()) in
   check_true "suite slugs"
     (List.map (fun r -> r.Sim.Trace_run.slug) runs
-    = [ "serial"; "2pl"; "2pl-prime"; "preclaim"; "sgt"; "to"; "sharded" ]);
+    = [
+        "serial"; "2pl"; "2pl-prime"; "preclaim"; "sgt"; "to"; "sharded";
+        "mvcc"; "si"; "ssi";
+      ]);
   (* scheduler selection accepts slugs and is case-insensitive *)
   let picked = Sim.Trace_run.execute (spec ~only:[ "SGT"; "2pl-prime" ] ()) in
   check_true "selection by name and slug"
