@@ -159,9 +159,23 @@ let read_file file =
   s
 
 let bench sizes mixes n_vars streams min_time seed smoke json out shards
-    shard_sizes mv_sizes mv_samples =
+    shard_sizes mv_sizes mv_samples parallel domains =
+  (* the section is opt-in (--parallel); --domains picks the sweep,
+     defaulting to the base configuration's (smoke keeps its tiny one) *)
+  let par_domains_for (base : Sim.Sched_bench.spec) =
+    if not parallel then []
+    else
+      match domains with
+      | "" -> base.Sim.Sched_bench.par_domains
+      | spec -> parse_ints spec
+  in
+  let par_domains = par_domains_for Sim.Sched_bench.default in
   let spec =
-    if smoke then Sim.Sched_bench.smoke
+    if smoke then
+      {
+        Sim.Sched_bench.smoke with
+        par_domains = par_domains_for Sim.Sched_bench.smoke;
+      }
     else
       {
         Sim.Sched_bench.sizes = parse_sizes sizes;
@@ -176,6 +190,11 @@ let bench sizes mixes n_vars streams min_time seed smoke json out shards
         mv_sizes = (if mv_sizes = "" then [] else parse_sizes mv_sizes);
         mv_mixes = Sim.Sched_bench.default.Sim.Sched_bench.mv_mixes;
         mv_samples;
+        par_domains;
+        par_queues = Sim.Sched_bench.default.Sim.Sched_bench.par_queues;
+        par_sizes = Sim.Sched_bench.default.Sim.Sched_bench.par_sizes;
+        par_mixes = Sim.Sched_bench.default.Sim.Sched_bench.par_mixes;
+        par_streams = Sim.Sched_bench.default.Sim.Sched_bench.par_streams;
       }
   in
   let rows = Sim.Sched_bench.run spec in
@@ -734,14 +753,31 @@ let bench_cmd =
           ~doc:"Monte-Carlo samples per |P|/|H| breadth estimate in the \
                 multi-version admission table.")
   in
+  let parallel =
+    Arg.(
+      value & flag
+      & info [ "parallel" ]
+          ~doc:"Also time the domain-parallel execution engine \
+                (Sched.Parallel) — wall-clock req/s per (domain count, \
+                channel build), with a speedup map vs 1 domain.")
+  in
+  let domains =
+    Arg.(
+      value & opt string ""
+      & info [ "domains" ] ~docv:"D,.."
+          ~doc:"Domain counts for the --parallel sweep (include 1: it is \
+                the speedup baseline). Defaults to the configuration's \
+                sweep.")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"scheduler micro-benchmark (requests/sec, incl. SGT vs SGT-ref, \
-             sharded vs monolithic SGT and the multi-version admission \
-             section)")
+             sharded vs monolithic SGT, the multi-version admission section \
+             and the --parallel wall-clock engine sweep)")
     Term.(
       const bench $ sizes $ mixes $ n_vars $ streams $ min_time $ seed $ smoke
-      $ json $ out $ shards $ shard_sizes $ mv_sizes $ mv_samples)
+      $ json $ out $ shards $ shard_sizes $ mv_sizes $ mv_samples $ parallel
+      $ domains)
 
 let trace_cmd =
   let sched =

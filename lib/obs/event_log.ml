@@ -184,13 +184,20 @@ let event_of_line line =
 let parse s =
   let lines = String.split_on_char '\n' s in
   let dropped = ref 0 in
+  let dropped_seen = ref false in
   let header_seen = ref false in
   let rec go acc lineno = function
     | [] -> Ok (List.rev acc, !dropped)
-    | "" :: rest -> go acc (lineno + 1) rest
     | line :: rest ->
       let err msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
-      if String.length line > 0 && line.[0] = '#' then begin
+      (* A well-formed log ends in a newline, so the split yields a final
+         empty element. A non-empty final element is a line the writer
+         never finished — treating it as data would silently accept a
+         truncated (mid-write, mid-copy) log. *)
+      if rest = [] && line <> "" then
+        err "missing trailing newline (truncated log?)"
+      else if line = "" then go acc (lineno + 1) rest
+      else if line.[0] = '#' then begin
         match String.split_on_char ' ' line with
         | [ "#"; "ccopt-events"; v ] ->
           if int_of_string_opt v = Some version then begin
@@ -199,11 +206,17 @@ let parse s =
           end
           else err (Printf.sprintf "unsupported format version %s" v)
         | [ "#"; "dropped"; n ] -> (
-          match int_of_string_opt n with
-          | Some n when n >= 0 ->
-            dropped := n;
-            go acc (lineno + 1) rest
-          | _ -> err "bad dropped count")
+          (* one writer, one drop counter: a second header means two logs
+             were concatenated or the file was hand-edited — either way
+             "last one wins" would silently misreport the drop count *)
+          if !dropped_seen then err "duplicate # dropped header"
+          else
+            match int_of_string_opt n with
+            | Some n when n >= 0 ->
+              dropped := n;
+              dropped_seen := true;
+              go acc (lineno + 1) rest
+            | _ -> err "bad dropped count")
         | _ -> go acc (lineno + 1) rest (* future metadata: ignore *)
       end
       else if not !header_seen then err "missing # ccopt-events header"

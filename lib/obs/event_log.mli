@@ -31,4 +31,8 @@ val to_string : ?dropped:int -> (float * Event.t) list -> string
 val parse : string -> ((float * Event.t) list * int, string) result
 (** Parse a rendered trace back; [Error] describes the first offending
     line. Unknown event names and malformed fields are errors — a
-    reader must not silently checker-pass a trace it misread. *)
+    reader must not silently checker-pass a trace it misread. Likewise
+    structural damage: a duplicate [# dropped] header (concatenated or
+    hand-edited logs) and a final line without its newline (a log
+    truncated mid-write) are positioned errors, not best-effort
+    guesses. *)

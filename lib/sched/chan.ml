@@ -1,0 +1,201 @@
+(* Bounded MPSC channels of ints (transaction indices), in two builds:
+
+   [Ring] is a Vyukov-style bounded queue over a sequence-stamped cell
+   array. Producers claim a slot with one CAS on the tail; the single
+   consumer runs CAS-free (plain head counter). Payload cells are plain
+   [int array] fields published through the per-cell atomic sequence
+   number — the OCaml 5 memory model makes plain writes before an
+   [Atomic.set] visible to a reader that observed the set's value.
+
+   [Mutex] is the textbook mutex + condition variable deque. Same
+   interface, wildly different contention profile; the scheduler bench
+   measures both so the choice is data, not folklore.
+
+   Blocking uses bounded spinning ([Domain.cpu_relax]) and falls back
+   to a short [Unix.sleepf]: on machines with fewer cores than domains
+   (CI boxes, laptops under load) a pure spin steals the timeslice the
+   peer needs to make the awaited progress. *)
+
+exception Closed
+
+type kind = Ring | Mutex
+
+let kind_name = function Ring -> "ring" | Mutex -> "mutex"
+
+type ring = {
+  buf : int array;
+  seq : int Atomic.t array; (* cell stamp: round trip of slot states *)
+  mask : int;
+  tail : int Atomic.t; (* producers race on this *)
+  mutable head : int;  (* single consumer: no atomicity needed *)
+}
+
+type mux = {
+  q : int Queue.t;
+  capacity : int;
+  lock : Stdlib.Mutex.t;
+  not_empty : Stdlib.Condition.t;
+  not_full : Stdlib.Condition.t;
+}
+
+type impl = R of ring | M of mux
+type t = { impl : impl; closed : bool Atomic.t }
+
+let default_capacity = 1024
+
+let create ?(capacity = default_capacity) kind =
+  if capacity < 1 then invalid_arg "Chan.create: capacity must be positive";
+  (* round up to a power of two so slot = index land mask *)
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  let impl =
+    match kind with
+    | Ring ->
+      R
+        {
+          buf = Array.make !cap 0;
+          seq = Array.init !cap (fun i -> Atomic.make i);
+          mask = !cap - 1;
+          tail = Atomic.make 0;
+          head = 0;
+        }
+    | Mutex ->
+      M
+        {
+          q = Queue.create ();
+          capacity = !cap;
+          lock = Stdlib.Mutex.create ();
+          not_empty = Stdlib.Condition.create ();
+          not_full = Stdlib.Condition.create ();
+        }
+  in
+  { impl; closed = Atomic.make false }
+
+let kind t = match t.impl with R _ -> Ring | M _ -> Mutex
+
+(* Escalating backoff for the lock-free paths: spin politely first, then
+   yield real time so a 1-core box lets the peer run. *)
+let backoff tries =
+  if tries < 64 then Domain.cpu_relax ()
+  else Unix.sleepf (if tries < 256 then 50e-6 else 500e-6)
+
+let rec ring_push ch r v tries =
+  if Atomic.get ch.closed then raise Closed;
+  let t = Atomic.get r.tail in
+  let cell = r.seq.(t land r.mask) in
+  let s = Atomic.get cell in
+  if s = t then
+    if Atomic.compare_and_set r.tail t (t + 1) then begin
+      r.buf.(t land r.mask) <- v;
+      Atomic.set cell (t + 1) (* publish: consumer waits for head + 1 *)
+    end
+    else begin
+      (* lost the slot race to another producer *)
+      Domain.cpu_relax ();
+      ring_push ch r v tries
+    end
+  else begin
+    (* s < t: the slot from one lap ago is still occupied — queue full *)
+    backoff tries;
+    ring_push ch r v (tries + 1)
+  end
+
+(* Non-blocking drain of everything currently published, consumer only. *)
+let ring_pop_avail r out =
+  let n = ref 0 in
+  let cap = Array.length out in
+  let continue = ref true in
+  while !continue && !n < cap do
+    let h = r.head in
+    let cell = r.seq.(h land r.mask) in
+    if Atomic.get cell = h + 1 then begin
+      out.(!n) <- r.buf.(h land r.mask);
+      incr n;
+      r.head <- h + 1;
+      Atomic.set cell (h + r.mask + 1) (* recycle for the next lap *)
+    end
+    else continue := false
+  done;
+  !n
+
+let mux_push ch m v =
+  Stdlib.Mutex.lock m.lock;
+  let rec wait () =
+    if Atomic.get ch.closed then begin
+      Stdlib.Mutex.unlock m.lock;
+      raise Closed
+    end
+    else if Queue.length m.q >= m.capacity then begin
+      Stdlib.Condition.wait m.not_full m.lock;
+      wait ()
+    end
+  in
+  wait ();
+  Queue.push v m.q;
+  Stdlib.Condition.signal m.not_empty;
+  Stdlib.Mutex.unlock m.lock
+
+let mux_pop_avail m out =
+  let cap = Array.length out in
+  Stdlib.Mutex.lock m.lock;
+  let n = ref 0 in
+  while !n < cap && not (Queue.is_empty m.q) do
+    out.(!n) <- Queue.pop m.q;
+    incr n
+  done;
+  if !n > 0 then Stdlib.Condition.broadcast m.not_full;
+  Stdlib.Mutex.unlock m.lock;
+  !n
+
+let push t v =
+  match t.impl with R r -> ring_push t r v 0 | M m -> mux_push t m v
+
+let close t =
+  Atomic.set t.closed true;
+  match t.impl with
+  | R _ -> ()
+  | M m ->
+    (* wake both sides so blocked peers observe the flag *)
+    Stdlib.Mutex.lock m.lock;
+    Stdlib.Condition.broadcast m.not_empty;
+    Stdlib.Condition.broadcast m.not_full;
+    Stdlib.Mutex.unlock m.lock
+
+(* Blocking batch pop: waits for at least one element; 0 only after
+   [close] with everything drained — the consumer's termination signal.
+   The mutex build condition-waits; the ring build spins with the same
+   escalating backoff as the producers. *)
+let pop_batch t out =
+  if Array.length out = 0 then
+    invalid_arg "Chan.pop_batch: zero-length buffer";
+  match t.impl with
+  | R r ->
+    let rec go tries =
+      let n = ring_pop_avail r out in
+      if n > 0 then n
+      else if Atomic.get t.closed then
+        (* producers close only after their last publish, so one more
+           drain after observing the flag catches any racing publish *)
+        ring_pop_avail r out
+      else begin
+        backoff tries;
+        go (tries + 1)
+      end
+    in
+    go 0
+  | M m ->
+    let rec go () =
+      let n = mux_pop_avail m out in
+      if n > 0 then n
+      else if Atomic.get t.closed then 0
+      else begin
+        Stdlib.Mutex.lock m.lock;
+        if Queue.is_empty m.q && not (Atomic.get t.closed) then
+          Stdlib.Condition.wait m.not_empty m.lock;
+        Stdlib.Mutex.unlock m.lock;
+        go ()
+      end
+    in
+    go ()

@@ -1,0 +1,50 @@
+(** Bounded multi-producer single-consumer channels of ints — the
+    request conduits between the routing domain and the per-shard
+    execution domains of [Sched.Parallel].
+
+    Two interchangeable builds, selected at creation:
+
+    - {!Ring}: a Vyukov-style sequence-stamped atomic ring. Producers
+      claim slots with a single CAS; the lone consumer is CAS-free.
+    - {!Mutex}: a mutex + condition-variable queue.
+
+    Both are bounded (capacity is rounded up to a power of two),
+    blocking on full/empty, and closeable. The termination protocol is
+    strict: {!close} must happen {e after} every producer's last
+    {!push} — the consumer treats a 0 return from {!pop_batch} as
+    end-of-stream. Blocking paths mix [Domain.cpu_relax] spinning with
+    short sleeps so oversubscribed boxes (fewer cores than domains)
+    still make progress. *)
+
+exception Closed
+(** Raised by {!push} on a closed channel. *)
+
+type kind = Ring | Mutex
+
+val kind_name : kind -> string
+(** ["ring"] / ["mutex"] — bench and CLI labels. *)
+
+type t
+
+val create : ?capacity:int -> kind -> t
+(** A fresh channel holding at most [capacity] (rounded up to a power
+    of two, default 1024) undelivered elements. *)
+
+val kind : t -> kind
+
+val push : t -> int -> unit
+(** Enqueue, blocking while the channel is full. Safe from any number
+    of domains. Raises {!Closed} if the channel was closed first. *)
+
+val close : t -> unit
+(** Mark end-of-stream and wake blocked peers. Call only after all
+    producers are done pushing. Idempotent. *)
+
+val pop_batch : t -> int array -> int
+(** Dequeue into a caller buffer from the single consumer domain:
+    blocks until at least one element is available, then drains as many
+    as are ready (at most [Array.length buf]) and returns the count.
+    Returns [0] only when the channel is closed and empty — the
+    end-of-stream signal. The batch amortizes synchronization over
+    bursts, which is what lets a coordinator admit cross-shard
+    transactions batch-at-a-time instead of one CAS per request. *)

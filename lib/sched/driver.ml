@@ -7,6 +7,7 @@ type stats = {
   deadlocks : int;
   waiting : int;
   grants : int;
+  aborts : int array;
 }
 
 let zero_delay s = s.delays = 0 && s.restarts = 0
@@ -28,6 +29,7 @@ type state = {
   incarnation : int array;
   arrival_rank : int array;    (* fixed seniority: first-submission order *)
   mutable arrived : int;
+  mutable submissions : int;   (* total submit calls, for the drain budget *)
   blocked : Intq.t;            (* FIFO of delayed transactions *)
   mutable clock : int;         (* driver events *)
   mutable log : (Names.step_id * int) list;  (* grant, incarnation (rev) *)
@@ -52,6 +54,7 @@ let init sched sink fmt =
     incarnation = Array.make n 0;
     arrival_rank = Array.make n (-1);
     arrived = 0;
+    submissions = 0;
     blocked = Intq.create n;
     clock = 0;
     log = [];
@@ -197,29 +200,40 @@ let resolve_stall st =
          (Printf.sprintf "driver: scheduler %s cannot resolve a stall"
             st.sched.Scheduler.name))
 
-let run ?(sink = Obs.Sink.null) sched ~fmt ~arrivals =
-  let st = init sched sink fmt in
-  let total_arrivals = Array.length arrivals in
-  Array.iter
-    (fun i ->
-      st.clock <- st.clock + 1;
-      Obs.Sink.set_now st.sink (float_of_int st.clock);
-      if st.arrival_rank.(i) < 0 then begin
-        st.arrival_rank.(i) <- st.arrived;
-        st.arrived <- st.arrived + 1
-      end;
-      st.outstanding.(i) <- st.outstanding.(i) + 1;
-      submit_push st i st.clock;
-      if Obs.Sink.on st.sink then
-        Obs.Sink.record st.sink
-          (Obs.Event.Submitted
-             { tx = i; idx = st.next_step.(i) + st.outstanding.(i) - 1 });
-      if in_queue st i then ()
-      else if try_drain st i then process_queue st)
-    arrivals;
+(* ---------- incremental interface ---------- *)
+
+type t = state
+
+let create ?(sink = Obs.Sink.null) sched ~fmt = init sched sink fmt
+
+(* One arrival: clock tick, seniority stamp, request bookkeeping, then
+   grant whatever the new request unblocks. Identical to one iteration
+   of the old monolithic run loop — [run] below is a composition, not a
+   reimplementation, so every engine built on [submit]/[drain] inherits
+   the exact single-threaded semantics. *)
+let submit st i =
+  st.submissions <- st.submissions + 1;
+  st.clock <- st.clock + 1;
+  Obs.Sink.set_now st.sink (float_of_int st.clock);
+  if st.arrival_rank.(i) < 0 then begin
+    st.arrival_rank.(i) <- st.arrived;
+    st.arrived <- st.arrived + 1
+  end;
+  st.outstanding.(i) <- st.outstanding.(i) + 1;
+  submit_push st i st.clock;
+  if Obs.Sink.on st.sink then
+    Obs.Sink.record st.sink
+      (Obs.Event.Submitted
+         { tx = i; idx = st.next_step.(i) + st.outstanding.(i) - 1 });
+  if in_queue st i then ()
+  else if try_drain st i then process_queue st
+
+let submit_many st arrivals = Array.iter (submit st) arrivals
+
+let drain st =
   (* drain the tail; bound the work to defend against livelock *)
-  let budget = ref (100 * (total_arrivals + 1) * (Array.length fmt + 1)) in
-  let n = Array.length fmt in
+  let budget = ref (100 * (st.submissions + 1) * (Array.length st.fmt + 1)) in
+  let n = Array.length st.fmt in
   let all_done () =
     let rec go i = i >= n || (completed st i && go (i + 1)) in
     go 0
@@ -248,7 +262,13 @@ let run ?(sink = Obs.Sink.null) sched ~fmt ~arrivals =
     deadlocks = st.deadlocks;
     waiting = st.waiting;
     grants = st.grants;
+    aborts = Array.copy st.incarnation;
   }
+
+let run ?sink sched ~fmt ~arrivals =
+  let st = create ?sink sched ~fmt in
+  submit_many st arrivals;
+  drain st
 
 let fixpoint_of mk fmt =
   List.filter

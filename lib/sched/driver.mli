@@ -29,6 +29,12 @@ type stats = {
           of driver events between its (latest) submission and its
           grant *)
   grants : int;      (** total grants, re-executions included *)
+  aborts : int array;
+      (** per-transaction abort count (the incarnation a transaction
+          committed at); sums to [restarts]. Unlike [delays]/[waiting],
+          this is a pure function of the scheduler's decisions, which
+          makes it the right field for decision-identity differentials
+          between execution engines. *)
 }
 
 val zero_delay : stats -> bool
@@ -41,10 +47,36 @@ exception Stall of string
     CLI in particular) can render a clean diagnostic instead of a
     backtrace. *)
 
+type t
+(** An in-progress run: a scheduler plus the driver's request
+    bookkeeping. Not thread-safe — callers running drivers on multiple
+    domains give each domain its own [t] (see [Sched.Parallel]). *)
+
+val create : ?sink:Obs.Sink.t -> Scheduler.t -> fmt:int array -> t
+(** A fresh run over [fmt] with nothing submitted yet. *)
+
+val submit : t -> int -> unit
+(** Feed one arrival (a transaction index): the request is recorded and
+    as many queued requests as the new arrival unblocks are granted
+    immediately — the same eager policy the monolithic {!run} always
+    had. May raise {!Stall} via a scheduler abort cascade. *)
+
+val submit_many : t -> int array -> unit
+(** [Array.iter (submit t)]. *)
+
+val drain : t -> stats
+(** Retry the queued remainder until every submitted transaction
+    completes, resolving stalls by victim abort; then return the run's
+    statistics. Raises {!Stall} if the scheduler cannot resolve a stall
+    or the run livelocks. Draining is terminal: submitting into a
+    drained driver restarts the tail loop on the next {!drain}, but the
+    intended protocol is submit*, then one drain. *)
+
 val run :
   ?sink:Obs.Sink.t -> Scheduler.t -> fmt:int array -> arrivals:int array ->
   stats
-(** Raises {!Stall} if the scheduler cannot resolve a stall or the run
+(** [create], {!submit_many}, {!drain} — the one-shot composition.
+    Raises {!Stall} if the scheduler cannot resolve a stall or the run
     livelocks.
 
     With a [sink], the full request lifecycle is recorded: [Submitted]

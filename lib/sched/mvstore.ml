@@ -127,7 +127,15 @@ let min_live_snapshot st =
 (* Garbage collection: once no live snapshot can reach a version (a
    newer committed version is itself at or below every live snapshot),
    drop it; retained committed transaction records go the same way once
-   nothing live is concurrent with them. *)
+   nothing live is concurrent with them.
+
+   With no live snapshot at all, [s_min] falls back to the current
+   clock. That must never empty a chain: the next [begin_txn] pins
+   [snap = clock], and its reads walk the chain for the newest version
+   at or below that. Chains are newest-first and every committed
+   version satisfies [ts <= clock], so [keep] always retains the head
+   version per variable — exactly the one a post-prune snapshot
+   reads. *)
 let prune st =
   let s_min =
     match min_live_snapshot st with Some s -> s | None -> st.clock

@@ -1,0 +1,326 @@
+open Core
+
+(* True multicore execution of the sharded engine.
+
+   The variable partition of {!Partition} already decides everything:
+   a conflict edge lives in exactly one shard, so transactions that
+   share no shard can be scheduled by independent machines that never
+   exchange a word. The planner below turns that observation into a
+   domain layout:
+
+   - Shards touched by at least one cross-shard transaction are
+     "coordinated": their verdicts flow through the summary graph, so
+     all of them — and every transaction homed in them — run on one
+     coordinator domain whose {!Sharded} instance admits cross-shard
+     batches against the summary graph batch-at-a-time (the channel's
+     [pop_batch] is the amortization).
+   - Every other non-empty shard is free of cross traffic; its
+     transactions run on an independent domain (grouped round-robin
+     when fewer domains than shards are requested).
+
+   Each worker runs an ordinary single-threaded {!Driver} over its own
+   {!Sharded} instance built on the {e projection} of the syntax to the
+   worker's transactions, fed its projection of the global arrival
+   stream through a {!Chan}. Because the variable-to-shard hash depends
+   only on the variable name, the projected partition agrees with the
+   global one, and each worker's shard-member sets equal the global
+   run's — so the engine is decision-identical, worker by worker, to
+   the simulated [Sharded] run over the full stream: same committed
+   schedule projection, same per-transaction abort counts. (Delay and
+   waiting counters legitimately differ: they measure queue pressure,
+   which parallel execution exists to change.) The differential test in
+   [test/test_parallel.ml] pins this. *)
+
+type worker_report = {
+  txns : int array; (* global transaction ids, ascending; local id = index *)
+  worker_shards : int list; (* shards this worker owns, ascending *)
+  coordinator : bool;
+  stats : Driver.stats; (* over worker-local transaction ids *)
+}
+
+type report = {
+  shards : int;
+  domains : int; (* workers actually spawned *)
+  queue : Chan.kind;
+  workers : worker_report array;
+  output : Schedule.t;
+  delays : int;
+  restarts : int;
+  deadlocks : int;
+  waiting : int;
+  grants : int;
+  aborts : int array;
+  seconds : float;
+}
+
+(* ---------- planning ---------- *)
+
+type plan = {
+  n_workers : int;
+  owner : int array; (* transaction -> worker *)
+  shard_sets : int list array; (* worker -> owned shards, ascending *)
+  has_coordinator : bool;
+}
+
+let plan_of (p : Partition.t) ~domains =
+  let k = p.Partition.shards in
+  let coordinated = Array.make k false in
+  Array.iteri
+    (fun tx cross ->
+      if cross then
+        for s = 0 to k - 1 do
+          if p.Partition.mask.(tx) land (1 lsl s) <> 0 then
+            coordinated.(s) <- true
+        done)
+    p.Partition.cross;
+  let nonempty s = Array.length p.Partition.members.(s) > 0 in
+  let coord_shards = ref [] and free_shards = ref [] in
+  for s = k - 1 downto 0 do
+    if nonempty s then
+      if coordinated.(s) then coord_shards := s :: !coord_shards
+      else free_shards := s :: !free_shards
+  done;
+  let has_coordinator = !coord_shards <> [] in
+  let natural =
+    (if has_coordinator then 1 else 0) + List.length !free_shards
+  in
+  let n_workers = max 1 (min domains (max 1 natural)) in
+  let shard_sets = Array.make n_workers [] in
+  let base = if has_coordinator then 1 else 0 in
+  if has_coordinator then shard_sets.(0) <- !coord_shards;
+  List.iteri
+    (fun i s ->
+      (* round-robin the independent shards over the remaining workers;
+         with a single worker everything folds onto it *)
+      let w = if n_workers <= base then 0 else base + (i mod (n_workers - base)) in
+      shard_sets.(w) <- shard_sets.(w) @ [ s ])
+    !free_shards;
+  let shard_owner = Array.make k 0 in
+  Array.iteri
+    (fun w ss -> List.iter (fun s -> shard_owner.(s) <- w) ss)
+    shard_sets;
+  let owner =
+    Array.init p.Partition.n (fun tx ->
+        if p.Partition.mask.(tx) = 0 then 0 (* empty: never arrives *)
+        else begin
+          (* lowest touched shard; all its shards share one worker *)
+          let s = ref 0 in
+          while p.Partition.mask.(tx) land (1 lsl !s) = 0 do
+            incr s
+          done;
+          shard_owner.(!s)
+        end)
+  in
+  { n_workers; owner; shard_sets; has_coordinator }
+
+(* Projection of the syntax to a transaction subset, kinds preserved. *)
+let project syntax txns =
+  Syntax.make_typed
+    (Array.map
+       (fun tx ->
+         Array.init (Syntax.length syntax tx) (fun idx ->
+             let id = Names.step tx idx in
+             (Syntax.kind syntax id, Syntax.var syntax id)))
+       txns)
+
+(* Rewrite worker-local transaction ids back to global ones. *)
+let remap_event g : Obs.Event.t -> Obs.Event.t = function
+  | Submitted { tx; idx } -> Submitted { tx = g.(tx); idx }
+  | Delayed { tx; idx } -> Delayed { tx = g.(tx); idx }
+  | Granted { tx; idx } -> Granted { tx = g.(tx); idx }
+  | Executed { tx; idx } -> Executed { tx = g.(tx); idx }
+  | Committed { tx } -> Committed { tx = g.(tx) }
+  | Aborted { tx; reason } -> Aborted { tx = g.(tx); reason }
+  | Restarted { tx } -> Restarted { tx = g.(tx) }
+  | Edge_added { src; dst } -> Edge_added { src = g.(src); dst = g.(dst) }
+  | Cycle_refused { tx; idx } -> Cycle_refused { tx = g.(tx); idx }
+  | Lock_acquired { tx; lock } -> Lock_acquired { tx = g.(tx); lock }
+  | Lock_released { tx; lock } -> Lock_released { tx = g.(tx); lock }
+  | Wound { victim } -> Wound { victim = g.(victim) }
+  | Ts_refused { tx; idx } -> Ts_refused { tx = g.(tx); idx }
+  | Shard_routed { tx; idx; shard } -> Shard_routed { tx = g.(tx); idx; shard }
+  | Snapshot_taken { tx; ts } -> Snapshot_taken { tx = g.(tx); ts }
+  | Version_read { tx; var; value } -> Version_read { tx = g.(tx); var; value }
+  | Version_installed { tx; var; value } ->
+    Version_installed { tx = g.(tx); var; value }
+  | Ww_refused { tx; var } -> Ww_refused { tx = g.(tx); var }
+  | Pivot_refused { tx; cyclic } -> Pivot_refused { tx = g.(tx); cyclic }
+
+let run ?(queue = Chan.Ring) ?capacity ?(sink = Obs.Sink.null) ?domains
+    ~shards ~syntax ~arrivals () =
+  let p = Partition.make ~syntax ~shards in
+  let domains =
+    match domains with Some d -> max 1 d | None -> max 1 (shards + 1)
+  in
+  let pl = plan_of p ~domains in
+  let w = pl.n_workers in
+  (* worker transaction lists, ascending (Array.init order) *)
+  let wtxns =
+    Array.init w (fun wi ->
+        let acc = ref [] in
+        for tx = p.Partition.n - 1 downto 0 do
+          if pl.owner.(tx) = wi then acc := tx :: !acc
+        done;
+        Array.of_list !acc)
+  in
+  let g2l = Array.make p.Partition.n (-1) in
+  Array.iteri
+    (fun _wi txns -> Array.iteri (fun l tx -> g2l.(tx) <- l) txns)
+    wtxns;
+  (* exact-fit default capacity: the producer can never block, so a
+     worker raising Stall cannot deadlock the router *)
+  let pushes = Array.make w 0 in
+  Array.iter (fun tx -> pushes.(pl.owner.(tx)) <- pushes.(pl.owner.(tx)) + 1)
+    arrivals;
+  let chan_for wi =
+    let cap = match capacity with Some c -> c | None -> max 1 pushes.(wi) in
+    Chan.create ~capacity:cap queue
+  in
+  let chans = Array.init w chan_for in
+  let trace = Obs.Sink.on sink in
+  let t0 = Unix.gettimeofday () in
+  let spawn wi =
+    let txns = wtxns.(wi) in
+    let chan = chans.(wi) in
+    Domain.spawn (fun () ->
+        if Array.length txns = 0 then begin
+          (* unreachable by construction (every worker owns a non-empty
+             shard) — but drain to end-of-stream and report nothing
+             rather than poison the run *)
+          let buf = Array.make 1 0 in
+          while Chan.pop_batch chan buf > 0 do
+            ()
+          done;
+          Ok
+            ( Driver.
+                {
+                  output = [||];
+                  delays = 0;
+                  restarts = 0;
+                  deadlocks = 0;
+                  waiting = 0;
+                  grants = 0;
+                  aborts = [||];
+                },
+              [] )
+        end
+        else begin
+          let sub = project syntax txns in
+          let collector = Obs.Sink.Memory.create () in
+          let wsink =
+            if trace then Obs.Sink.Memory.sink collector else Obs.Sink.null
+          in
+          let sched = Sharded.create ~sink:wsink ~shards ~syntax:sub () in
+          let drv = Driver.create ~sink:wsink sched ~fmt:(Syntax.format sub) in
+          let buf = Array.make 1024 0 in
+          match
+            let rec loop () =
+              let got = Chan.pop_batch chan buf in
+              if got > 0 then begin
+                for j = 0 to got - 1 do
+                  Driver.submit drv g2l.(buf.(j))
+                done;
+                loop ()
+              end
+            in
+            loop ();
+            Driver.drain drv
+          with
+          | stats -> Ok (stats, Obs.Sink.Memory.events collector)
+          | exception e -> Error e
+        end)
+  in
+  let route () =
+    (* route the global stream; per-worker order = its projection *)
+    Array.iter (fun tx -> Chan.push chans.(pl.owner.(tx)) tx) arrivals;
+    Array.iter Chan.close chans
+  in
+  let results = Array.make w (Error Stdlib.Exit) in
+  (match capacity with
+  | None ->
+    (* Exact-fit channels: no push can ever block, so route the whole
+       stream and close before a single worker exists. Workers then
+       always find either data or end-of-stream — never an
+       empty-but-open channel — so they never enter the poll/backoff
+       path. On an oversubscribed box this is the difference between
+       scaling and collapse: a polling worker competes with the router
+       for the same core.
+
+       Because workers never exchange a word, there is also no reason
+       to keep more of them in flight than the machine has cores:
+       spawn them in waves of [recommended_domain_count]. On a real
+       multicore box every worker still runs concurrently; on an
+       oversubscribed one this avoids paying stop-the-world
+       synchronization across mostly-preempted domains. *)
+    route ();
+    let wave = max 1 (min w (Domain.recommended_domain_count ())) in
+    let i = ref 0 in
+    while !i < w do
+      let hi = min w (!i + wave) in
+      let doms = Array.init (hi - !i) (fun j -> spawn (!i + j)) in
+      Array.iteri (fun j d -> results.(!i + j) <- Domain.join d) doms;
+      i := hi
+    done
+  | Some _ ->
+    (* Caller-bounded channels: pushes may block on full queues, so
+       every worker must be live before routing starts. *)
+    let doms = Array.init w spawn in
+    route ();
+    Array.iteri (fun i d -> results.(i) <- Domain.join d) doms);
+  let seconds = Unix.gettimeofday () -. t0 in
+  Array.iter (function Error e -> raise e | Ok _ -> ()) results;
+  let results =
+    Array.map (function Ok r -> r | Error _ -> assert false) results
+  in
+  (* deterministic merge, worker order: stats totals, remapped trace *)
+  let workers =
+    Array.init w (fun wi ->
+        let stats, _ = results.(wi) in
+        {
+          txns = wtxns.(wi);
+          worker_shards = pl.shard_sets.(wi);
+          coordinator = pl.has_coordinator && wi = 0;
+          stats;
+        })
+  in
+  let aborts = Array.make p.Partition.n 0 in
+  Array.iteri
+    (fun wi (stats, _) ->
+      Array.iteri
+        (fun l a -> aborts.(wtxns.(wi).(l)) <- a)
+        stats.Driver.aborts)
+    results;
+  let output =
+    Array.concat
+      (Array.to_list
+         (Array.mapi
+            (fun wi (stats, _) ->
+              Array.map
+                (fun (id : Names.step_id) ->
+                  Names.step wtxns.(wi).(id.Names.tx) id.Names.idx)
+                stats.Driver.output)
+            results))
+  in
+  if trace then
+    Array.iteri
+      (fun wi (_, events) ->
+        let g = wtxns.(wi) in
+        List.iter
+          (fun (ts, ev) -> Obs.Sink.record_at sink ts (remap_event g ev))
+          events)
+      results;
+  let sum f = Array.fold_left (fun acc (s, _) -> acc + f s) 0 results in
+  {
+    shards;
+    domains = w;
+    queue;
+    workers;
+    output;
+    delays = sum (fun s -> s.Driver.delays);
+    restarts = sum (fun s -> s.Driver.restarts);
+    deadlocks = sum (fun s -> s.Driver.deadlocks);
+    waiting = sum (fun s -> s.Driver.waiting);
+    grants = sum (fun s -> s.Driver.grants);
+    aborts;
+    seconds;
+  }

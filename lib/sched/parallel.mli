@@ -1,0 +1,80 @@
+open Core
+
+(** True multicore execution of the {!Sharded} engine on OCaml 5
+    domains.
+
+    The conflict geometry that justifies sharding also decides the
+    domain layout: a conflict edge joins two accessors of one variable
+    and therefore lives in exactly one shard, so shards that no
+    cross-shard transaction touches can be scheduled by fully
+    independent domains, while the shards entangled by cross-shard
+    transactions — whose admission goes through the summary graph —
+    escalate to a single {e coordinator} domain that admits requests
+    batch-at-a-time from its queue ({!Chan.pop_batch} is the
+    amortization).
+
+    Every worker runs the ordinary single-threaded {!Driver} over a
+    {!Sharded} instance built on the projection of the syntax to the
+    worker's transactions, fed its projection of the global arrival
+    stream. The variable-to-shard hash depends only on the variable
+    name, so the projected partitions agree with the global one and the
+    engine is {e decision-identical} to the simulated [Sharded] run:
+    per worker, the same committed schedule and the same
+    per-transaction abort counts. Queue-pressure metrics ([delays],
+    [waiting]) legitimately differ — they are what parallel execution
+    changes. *)
+
+type worker_report = {
+  txns : int array;
+      (** the worker's transactions, global ids ascending — its local
+          id space ([stats] and [stats.output] use local ids) *)
+  worker_shards : int list;  (** shards this worker owned, ascending *)
+  coordinator : bool;
+      (** whether this was the coordinator domain (all cross-shard
+          traffic and every shard such traffic touches) *)
+  stats : Driver.stats;
+}
+
+type report = {
+  shards : int;
+  domains : int;  (** workers actually spawned (≤ requested) *)
+  queue : Chan.kind;
+  workers : worker_report array;
+  output : Schedule.t;
+      (** committed schedule, global ids: per-worker outputs
+          concatenated in worker order. Each worker's slice preserves
+          its true commit order; no order across workers is implied
+          (none exists). *)
+  delays : int;
+  restarts : int;
+  deadlocks : int;
+  waiting : int;
+  grants : int;  (** summed over workers *)
+  aborts : int array;  (** per-transaction abort counts, global ids *)
+  seconds : float;  (** wall-clock, spawn to last join *)
+}
+
+val run :
+  ?queue:Chan.kind ->
+  ?capacity:int ->
+  ?sink:Obs.Sink.t ->
+  ?domains:int ->
+  shards:int ->
+  syntax:Syntax.t ->
+  arrivals:int array ->
+  unit ->
+  report
+(** Execute the arrival stream on up to [domains] domains (default
+    [shards + 1]; clamped to the natural worker count — one per
+    independent shard plus at most one coordinator — and at least 1).
+    [queue] picks the channel build (default {!Chan.Ring});
+    [capacity] overrides the per-channel bound (default: exact fit, so
+    the router never blocks). With a [sink], each domain records into
+    a private in-memory sink and the traces are merged after the last
+    join — remapped to global transaction ids, concatenated in worker
+    order — so a fixed seed yields a byte-identical merged trace
+    regardless of how the OS interleaved the domains.
+
+    Raises {!Driver.Stall} (after joining all workers) if any worker's
+    drain stalled or livelocked; [Invalid_argument] from
+    {!Partition.make} on a bad shard count. *)

@@ -13,6 +13,16 @@ type spec = {
   mv_sizes : (int * int) list;
   mv_mixes : string list;
   mv_samples : int;
+  (* wall-clock parallel-execution section; empty [par_domains] skips it.
+     Each variant runs one shard per domain (K = D), so d1 is the
+     monolithic single-shard engine on one domain — the configuration a
+     user without the parallel feature gets — and the sweep is the
+     engine's scaling curve. *)
+  par_domains : int list;
+  par_queues : Sched.Chan.kind list;
+  par_sizes : (int * int) list;
+  par_mixes : string list;
+  par_streams : int;
 }
 
 type row = {
@@ -39,6 +49,13 @@ let default =
     mv_sizes = [ (4, 3); (6, 3); (8, 2) ];
     mv_mixes = [ "rw-uniform"; "rw-hot"; "rw-readmost" ];
     mv_samples = 200;
+    par_domains = [ 1; 2; 4; 8 ];
+    par_queues = [ Sched.Chan.Ring; Sched.Chan.Mutex ];
+    (* 2048x2 disjoint is the scaling cell; 256x2 keeps the contended
+       mix affordable (same cap as the sharded section) *)
+    par_sizes = [ (2048, 2); (256, 2) ];
+    par_mixes = [ "disjoint"; "hot" ];
+    par_streams = 2;
   }
 
 let smoke =
@@ -55,6 +72,11 @@ let smoke =
     mv_sizes = [ (3, 2) ];
     mv_mixes = [ "rw-hot" ];
     mv_samples = 20;
+    par_domains = [ 1; 2 ];
+    par_queues = [ Sched.Chan.Ring ];
+    par_sizes = [ (16, 2) ];
+    par_mixes = [ "disjoint" ];
+    par_streams = 1;
   }
 
 let syntax_of_mix st ~mix ~n ~m ~n_vars =
@@ -105,28 +127,20 @@ let requests_of (s : Sched.Driver.stats) =
    scheduler, then rounds until the cell's time budget
    ([min_time] x number of schedulers, matching the sequential layout's
    total) is spent. *)
-let time_cell_set ~min_time ~fmt ~arrivals mks =
-  let k = Array.length mks in
+(* The generic core: each entry of [passes] runs one whole pass of its
+   configuration and returns the requests it served. *)
+let time_cells ~min_time passes =
+  let k = Array.length passes in
   let requests = Array.make k 0 in
   let seconds = Array.make k 0. in
-  Array.iter
-    (fun mk ->
-      Array.iter
-        (fun a -> ignore (Sched.Driver.run (mk ()) ~fmt ~arrivals:a))
-        arrivals)
-    mks;
+  Array.iter (fun pass -> ignore (pass ())) passes;
   let budget = min_time *. float_of_int k in
   let total = ref 0. in
   let rounds = ref 0 in
   while !rounds = 0 || !total < budget do
     for j = 0 to k - 1 do
-      let mk = mks.(j) in
       let t0 = Unix.gettimeofday () in
-      Array.iter
-        (fun a ->
-          requests.(j) <-
-            requests.(j) + requests_of (Sched.Driver.run (mk ()) ~fmt ~arrivals:a))
-        arrivals;
+      requests.(j) <- requests.(j) + passes.(j) ();
       let dt = Unix.gettimeofday () -. t0 in
       seconds.(j) <- seconds.(j) +. dt;
       total := !total +. dt
@@ -134,6 +148,16 @@ let time_cell_set ~min_time ~fmt ~arrivals mks =
     incr rounds
   done;
   Array.init k (fun j -> (requests.(j), seconds.(j)))
+
+let time_cell_set ~min_time ~fmt ~arrivals mks =
+  time_cells ~min_time
+    (Array.map
+       (fun mk () ->
+         Array.fold_left
+           (fun acc a ->
+             acc + requests_of (Sched.Driver.run (mk ()) ~fmt ~arrivals:a))
+           0 arrivals)
+       mks)
 
 let run_section spec ~mixes ~sizes ~named_of_syntax =
   List.concat_map
@@ -274,6 +298,75 @@ let sharded_schedulers ks syntax =
            fun () -> Sched.Sharded.create ~shards:k ~syntax () ))
        ks
 
+let parallel_name ~domains ~queue =
+  Printf.sprintf "parallel-d%d-%s" domains (Sched.Chan.kind_name queue)
+
+(* Wall-clock timing of the domain-parallel engine, one variant per
+   (domain count, channel build), same interleaved-round discipline as
+   the simulated sections. Every variant replays identical arrival
+   streams, so req/s ratios against the d1 variant are the engine's
+   wall-clock scaling curve. Contended mixes are capped at n <= 256
+   like the sharded section, and for the same reason. *)
+let run_parallel_section spec =
+  match spec.par_domains with
+  | [] -> []
+  | ds ->
+    let variants =
+      List.concat_map
+        (fun d -> List.map (fun q -> (d, q)) spec.par_queues)
+        ds
+    in
+    List.concat_map
+      (fun mix ->
+        let sizes =
+          if mix = "disjoint" then spec.par_sizes
+          else List.filter (fun (n, _) -> n <= 256) spec.par_sizes
+        in
+        List.concat_map
+          (fun (n, m) ->
+            let st =
+              Random.State.make [| spec.seed; Hashtbl.hash mix; n; m; 0x9a7 |]
+            in
+            let syntax = syntax_of_mix st ~mix ~n ~m ~n_vars:spec.n_vars in
+            let fmt = Syntax.format syntax in
+            let arrivals =
+              Array.init spec.par_streams (fun _ ->
+                  Combin.Interleave.random st fmt)
+            in
+            let pass (domains, queue) () =
+              Array.fold_left
+                (fun acc a ->
+                  let r =
+                    Sched.Parallel.run ~queue ~domains
+                      ~shards:domains ~syntax ~arrivals:(Array.copy a)
+                      ()
+                  in
+                  acc + r.Sched.Parallel.grants + r.Sched.Parallel.delays
+                  + r.Sched.Parallel.restarts)
+                0 arrivals
+            in
+            let cells =
+              time_cells ~min_time:spec.min_time
+                (Array.of_list (List.map pass variants))
+            in
+            List.mapi
+              (fun j (domains, queue) ->
+                let requests, seconds = cells.(j) in
+                {
+                  scheduler = parallel_name ~domains ~queue;
+                  mix;
+                  n;
+                  m;
+                  requests;
+                  seconds;
+                  req_per_sec =
+                    (if seconds > 0. then float_of_int requests /. seconds
+                     else 0.);
+                })
+              variants)
+          sizes)
+      spec.par_mixes
+
 let run spec =
   run_section spec ~mixes:spec.mixes ~sizes:spec.sizes
     ~named_of_syntax:schedulers
@@ -281,24 +374,24 @@ let run spec =
     | [], _ | _, [] -> []
     | mixes, sizes ->
       run_section spec ~mixes ~sizes ~named_of_syntax:mv_timing)
-  @
-  match spec.shard_ks with
-  | [] -> []
-  | ks ->
-    (* Contended mixes are capped at n <= 256: a single hot/skewed run
-       at n >= 512 takes seconds (wound-wait churn on a near-complete
-       conflict graph), which would starve every other cell of its time
-       budget. Disjoint cells run at every requested size — that is the
-       scaling story the sharded section exists to measure. *)
-    List.concat_map
-      (fun mix ->
-        let sizes =
-          if mix = "disjoint" then spec.shard_sizes
-          else List.filter (fun (n, _) -> n <= 256) spec.shard_sizes
-        in
-        run_section spec ~mixes:[ mix ] ~sizes
-          ~named_of_syntax:(sharded_schedulers ks))
-      spec.shard_mixes
+  @ (match spec.shard_ks with
+    | [] -> []
+    | ks ->
+      (* Contended mixes are capped at n <= 256: a single hot/skewed run
+         at n >= 512 takes seconds (wound-wait churn on a near-complete
+         conflict graph), which would starve every other cell of its time
+         budget. Disjoint cells run at every requested size — that is the
+         scaling story the sharded section exists to measure. *)
+      List.concat_map
+        (fun mix ->
+          let sizes =
+            if mix = "disjoint" then spec.shard_sizes
+            else List.filter (fun (n, _) -> n <= 256) spec.shard_sizes
+          in
+          run_section spec ~mixes:[ mix ] ~sizes
+            ~named_of_syntax:(sharded_schedulers ks))
+        spec.shard_mixes)
+  @ run_parallel_section spec
 
 let find rows ~scheduler ~mix ~n ~m =
   List.find_opt
@@ -335,6 +428,27 @@ let sharded_speedups rows =
           in
           Some (r.mix, r.n, r.m, k, r.req_per_sec /. sgt.req_per_sec)
         | Some _ | None -> None))
+    rows
+
+let parallel_speedups rows =
+  (* every multi-domain parallel variant vs the single-domain variant
+     of the same channel build, per cell: the wall-clock scaling curve *)
+  List.filter_map
+    (fun r ->
+      match String.split_on_char '-' r.scheduler with
+      | [ "parallel"; d; q ] when String.length d > 1 && d.[0] = 'd' -> (
+        match int_of_string_opt (String.sub d 1 (String.length d - 1)) with
+        | Some domains when domains > 1 -> (
+          match
+            find rows
+              ~scheduler:(Printf.sprintf "parallel-d1-%s" q)
+              ~mix:r.mix ~n:r.n ~m:r.m
+          with
+          | Some base when base.req_per_sec > 0. ->
+            Some (r.mix, r.n, r.m, q, domains, r.req_per_sec /. base.req_per_sec)
+          | Some _ | None -> None)
+        | _ -> None)
+      | _ -> None)
     rows
 
 (* ---------- JSON ---------- *)
@@ -397,6 +511,31 @@ let to_json ?(mv = []) spec rows =
            (if i = List.length ssp - 1 then "" else ",")))
     ssp;
   add "  },\n";
+  (match parallel_speedups rows with
+  | [] -> ()
+  | psp ->
+    (* wall-clock context the ratios cannot be read without: on a host
+       with fewer cores than domains the speedup is algorithmic
+       (smaller per-worker graphs and histories), not concurrent *)
+    add "  \"parallel\": {\n";
+    add
+      (Printf.sprintf "    \"recommended_domains\": %d,\n"
+         (Domain.recommended_domain_count ()));
+    add
+      "    \"note\": \"wall-clock ratios vs the d1 variant on identical \
+       arrival streams; on hosts with fewer cores than domains the gain \
+       is algorithmic (smaller per-worker state), true concurrency \
+       engages on multicore\",\n";
+    add "    \"speedup_vs_d1\": {\n";
+    List.iteri
+      (fun i (mix, n, m, q, d, ratio) ->
+        add
+          (Printf.sprintf "      \"%s/%dx%d/%s/d%d\": %.2f%s\n"
+             (json_escape mix) n m (json_escape q) d ratio
+             (if i = List.length psp - 1 then "" else ",")))
+      psp;
+    add "    }\n";
+    add "  },\n");
   add
     (Printf.sprintf "  \"mv_section\": {\n    \"samples\": %d,\n    \"results\": [\n"
        spec.mv_samples);
@@ -623,14 +762,25 @@ let pp_rows ppf rows =
       (fun (mix, n, m, ratio) ->
         Format.fprintf ppf "  %-8s %3dx%-3d %6.2fx@." mix n m ratio)
       sp);
-  match sharded_speedups rows with
+  (match sharded_speedups rows with
   | [] -> ()
   | ssp ->
     Format.fprintf ppf "@.sharded speedup vs SGT:@.";
     List.iter
       (fun (mix, n, m, k, ratio) ->
         Format.fprintf ppf "  %-8s %3dx%-3d K=%-2d %6.2fx@." mix n m k ratio)
-      ssp
+      ssp);
+  match parallel_speedups rows with
+  | [] -> ()
+  | psp ->
+    Format.fprintf ppf
+      "@.parallel wall-clock speedup vs 1 domain (%d cores recommended):@."
+      (Domain.recommended_domain_count ());
+    List.iter
+      (fun (mix, n, m, q, d, ratio) ->
+        Format.fprintf ppf "  %-8s %3dx%-3d %-6s d=%-2d %6.2fx@." mix n m q d
+          ratio)
+      psp
 
 let pp_mv_stats ppf stats =
   match stats with

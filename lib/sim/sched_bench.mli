@@ -38,6 +38,23 @@ type spec = {
           ["rw-uniform"]/["rw-hot"] read/update mixes *)
   mv_samples : int;
       (** Monte-Carlo samples behind each [breadth] estimate *)
+  par_domains : int list;
+      (** parallel-execution section: domain counts to sweep ([[]]
+          disables the section; include [1] — it is the wall-clock
+          baseline the speedup map divides by). Each variant runs one
+          shard per domain (K = D handed to {!Sched.Parallel.run}), so
+          the d1 baseline is the monolithic single-shard engine on one
+          domain and the sweep is the engine's end-to-end scaling
+          curve. *)
+  par_queues : Sched.Chan.kind list;  (** channel builds to compare *)
+  par_sizes : (int * int) list;
+      (** parallel-section sizes; contended mixes capped at [n <= 256]
+          as in the sharded section *)
+  par_mixes : string list;
+  par_streams : int;
+      (** arrival streams per parallel cell (each pass replays all of
+          them; kept separate from [streams] because a parallel pass at
+          n = 2048 is orders of magnitude more work than a 16x8 cell) *)
 }
 
 type row = {
@@ -99,10 +116,23 @@ val sharded_speedups : row list -> (string * int * int * int * float) list
 (** [(mix, n, m, K, sharded_req_per_sec / sgt_req_per_sec)] per sharded
     cell. *)
 
+val parallel_name : domains:int -> queue:Sched.Chan.kind -> string
+(** Row label of a parallel variant: ["parallel-d<domains>-<queue>"]. *)
+
+val parallel_speedups :
+  row list -> (string * int * int * string * int * float) list
+(** [(mix, n, m, queue, domains, speedup_vs_d1)] for every multi-domain
+    parallel row whose cell also timed the d1 variant of the same
+    channel build — the engine's wall-clock scaling curve. *)
+
 val to_json : ?mv:mv_stat list -> spec -> row list -> string
 (** Hand-emitted JSON: [{"benchmark", "unit", "config", "results":
     [row...], "sgt_speedup_vs_ref": {...},
-    "sharded_speedup_vs_sgt": {...}, "mv_section": {...}}]. *)
+    "sharded_speedup_vs_sgt": {...}, "parallel": {...},
+    "mv_section": {...}}]. The ["parallel"] member appears only when
+    the rows contain parallel variants; it records
+    [Domain.recommended_domain_count ()] alongside the speedups so a
+    reader can tell concurrent gains from algorithmic ones. *)
 
 val json_well_formed : string -> bool
 (** Minimal JSON well-formedness check (full-string parse) used by the

@@ -9,10 +9,14 @@ let uniform st ~n ~m ~n_vars =
          Array.init m (fun _ -> vars.(Random.State.int st n_vars))))
 
 let hotspot st ~n ~m ~n_vars ~theta =
-  if n_vars < 2 then invalid_arg "Workload.hotspot: needs >= 2 variables";
+  if n_vars < 1 then invalid_arg "Workload.hotspot: needs >= 1 variable";
   let vars = Array.of_list (var_pool n_vars) in
+  (* With a single variable every step is the hot spot: the cold branch
+     would call [Random.State.int st 0], which raises. Draining the rng
+     anyway would silently shift every later draw, so the clamp comes
+     first. *)
   let pick () =
-    if Random.State.float st 1.0 < theta then vars.(0)
+    if n_vars = 1 || Random.State.float st 1.0 < theta then vars.(0)
     else vars.(1 + Random.State.int st (n_vars - 1))
   in
   Syntax.make (Array.init n (fun _ -> Array.init m (fun _ -> pick ())))
@@ -33,10 +37,11 @@ let zipf st ~n ~m ~n_vars ~s =
   Syntax.make (Array.init n (fun _ -> Array.init m (fun _ -> pick ())))
 
 let mixed st ~n ~m ~n_vars ~read_frac ~theta =
-  if n_vars < 2 then invalid_arg "Workload.mixed: needs >= 2 variables";
+  if n_vars < 1 then invalid_arg "Workload.mixed: needs >= 1 variable";
   let vars = Array.of_list (var_pool n_vars) in
+  (* same clamp as {!hotspot}: one variable means every pick is hot *)
   let pick () =
-    if Random.State.float st 1.0 < theta then vars.(0)
+    if n_vars = 1 || Random.State.float st 1.0 < theta then vars.(0)
     else vars.(1 + Random.State.int st (n_vars - 1))
   in
   let step () =

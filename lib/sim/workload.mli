@@ -17,7 +17,9 @@ val hotspot : Random.State.t -> n:int -> m:int -> n_vars:int -> theta:float -> S
 (** Like {!uniform}, but each step touches variable [v0] with
     probability [theta] and a uniform other variable otherwise —
     [theta = 1.0] is the single-hot-spot workload, [theta = 0.0] spreads
-    uniformly over the remaining variables. *)
+    uniformly over the remaining variables. With [n_vars = 1] every step
+    is clamped to the hot variable (there is no cold pool to draw
+    from). *)
 
 val zipf : Random.State.t -> n:int -> m:int -> n_vars:int -> s:float -> Syntax.t
 (** Like {!uniform}, but variable [v_i] is drawn with probability
@@ -29,10 +31,11 @@ val mixed :
   Random.State.t ->
   n:int -> m:int -> n_vars:int -> read_frac:float -> theta:float -> Syntax.t
 (** Typed read/update mix over a {!hotspot}-shaped variable
-    distribution: each step is a [Syntax.Read] with probability
-    [read_frac] and an RMW [Update] otherwise. The workload that makes
-    snapshot-isolation anomalies (write skew) reachable — under pure
-    RMW, first-committer-wins already implies serializability. *)
+    distribution (including its [n_vars = 1] clamp): each step is a
+    [Syntax.Read] with probability [read_frac] and an RMW [Update]
+    otherwise. The workload that makes snapshot-isolation anomalies
+    (write skew) reachable — under pure RMW, first-committer-wins
+    already implies serializability. *)
 
 val disjoint : n:int -> m:int -> Syntax.t
 (** Transaction [i] only touches its own variable — the zero-contention

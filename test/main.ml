@@ -15,6 +15,7 @@ let () =
       ("sgt-diff", Test_sgt_diff.suite);
       ("registry", Test_registry.suite);
       ("sharded", Test_sharded.suite);
+      ("parallel", Test_parallel.suite);
       ("sim", Test_sim.suite);
       ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);

@@ -185,6 +185,63 @@ let test_mvstore_model () =
     done
   done
 
+(* Pruning with no live snapshot must never lose the present: when the
+   last live transaction commits or aborts, [prune] falls back to
+   [s_min = clock], and the chain must keep exactly the newest
+   committed version per variable — a snapshot pinned afterwards reads
+   it. A random walk that repeatedly drains the live set to empty and
+   re-reads through a fresh snapshot (PR 8 satellite audit: the
+   fallback is correct; this pins it). *)
+let test_prune_without_live_snapshot () =
+  for seed = 0 to 99 do
+    let st = rng seed in
+    let store = Mv.create () in
+    (* expected current value per variable, tracked naively *)
+    let current = ref (List.map (fun x -> (x, Mv.initial_value)) mv_vars) in
+    for _round = 1 to 20 do
+      (* a burst of overlapping transactions, all resolved before the
+         round ends: afterwards the store has no live snapshot *)
+      let burst =
+        List.init (1 + Random.State.int st 3) (fun i ->
+            Mv.begin_txn store (100 * seed + i))
+      in
+      let writes =
+        List.map
+          (fun t ->
+            let x = List.nth mv_vars (Random.State.int st 3) in
+            let v = Mv.write store t x in
+            (t, x, v))
+          burst
+      in
+      List.iter
+        (fun (t, x, v) ->
+          if Random.State.bool st then begin
+            ignore (Mv.commit store t);
+            current := (x, v) :: List.remove_assoc x !current
+          end
+          else Mv.abort store t)
+        writes;
+      check_true "no live snapshot left" (Mv.min_live_snapshot store = None);
+      (* the chain retains the newest committed version, and only it *)
+      List.iter
+        (fun x ->
+          (match Mv.chain store x with
+          | [] -> check_int "unwritten variable" Mv.initial_value
+                    (List.assoc x !current)
+          | [ v ] ->
+            check_int "newest version survives pruning"
+              (List.assoc x !current) v.Mv.value
+          | _ :: _ :: _ ->
+            Alcotest.fail "pruning with no live snapshot left a dead version");
+          (* a snapshot taken after pruning reads the current value *)
+          let t = Mv.begin_txn store (-1) in
+          let value, _ = Mv.read store t x in
+          check_int "post-prune snapshot read" (List.assoc x !current) value;
+          Mv.abort store t)
+        mv_vars
+    done
+  done
+
 (* -------------------------------------------------------------- *)
 (* Differential oracles on micro-universes                         *)
 (* -------------------------------------------------------------- *)
@@ -362,6 +419,8 @@ let suite =
   [
     Alcotest.test_case "version store vs naive model" `Quick
       test_mvstore_model;
+    Alcotest.test_case "pruning with no live snapshot keeps the present"
+      `Quick test_prune_without_live_snapshot;
     Alcotest.test_case "SSI = Herbrand on exhaustive RMW universes" `Quick
       test_ssi_herbrand_exhaustive;
     Alcotest.test_case "SSI fixpoint strictly contains SGT's" `Quick

@@ -248,7 +248,35 @@ let test_event_log_rejects () =
   reject "bad integer" "# ccopt-events 1\n0 submitted tx=zero idx=0\n";
   reject "bad timestamp" "# ccopt-events 1\nnever submitted tx=0 idx=0\n";
   reject "bad abort reason" "# ccopt-events 1\n0 aborted tx=0 reason=tired\n";
-  reject "negative dropped" "# ccopt-events 1\n# dropped -1\n"
+  reject "negative dropped" "# ccopt-events 1\n# dropped -1\n";
+  (* two # dropped headers: concatenated or hand-edited logs; the old
+     parser silently let the last one win *)
+  reject "duplicate dropped header"
+    "# ccopt-events 1\n# dropped 1\n# dropped 2\n0 submitted tx=0 idx=0\n";
+  (* a final line without its newline is a log truncated mid-write, not
+     a complete event; the old parser accepted it as data *)
+  reject "missing trailing newline"
+    "# ccopt-events 1\n# dropped 0\n0 submitted tx=0 idx=0";
+  reject "unterminated header" "# ccopt-events 1"
+
+let test_event_log_error_positions () =
+  (* structural errors carry the offending line number *)
+  let line_of text =
+    match Obs.Event_log.parse text with
+    | Ok _ -> Alcotest.fail "malformed log accepted"
+    | Error msg ->
+      check_true "error cites a line"
+        (String.length msg > 5 && String.sub msg 0 5 = "line ");
+      int_of_string (String.sub msg 5 (String.index msg ':' - 5))
+  in
+  check_int "duplicate dropped cites its own line" 3
+    (line_of "# ccopt-events 1\n# dropped 1\n# dropped 2\n");
+  check_int "truncated final line cited" 3
+    (line_of "# ccopt-events 1\n# dropped 0\n0 submitted tx=0 idx=0");
+  (* the truncation error wins over the line's own malformation: the
+     data may simply be cut short *)
+  check_int "truncated malformed line cited" 2
+    (line_of "# ccopt-events 1\n0 submitted tx=")
 
 (* ---------- history reconstruction from lifecycle traces ---------- *)
 
@@ -320,6 +348,8 @@ let suite =
     Alcotest.test_case "hist empty and errors" `Quick test_hist_empty;
     Alcotest.test_case "event log round trip" `Quick test_event_log_roundtrip;
     Alcotest.test_case "event log rejects junk" `Quick test_event_log_rejects;
+    Alcotest.test_case "event log error positions" `Quick
+      test_event_log_error_positions;
     Alcotest.test_case "history from lifecycle trace" `Quick
       test_fold_history;
     Alcotest.test_case "history truncation evidence" `Quick
