@@ -100,14 +100,69 @@ let schedule_cmd spec arrivals_spec sched_name =
     s.Sched.Driver.delays s.Sched.Driver.restarts s.Sched.Driver.deadlocks
     s.Sched.Driver.waiting (Sched.Driver.zero_delay s)
 
-let verify k =
-  let r2 = Optimality.Verify.theorem2_report ~k ~fmt:[| 2; 1 |] ~vars:[ "x" ] in
-  Format.printf "Theorem 2 (format (2,1), Z%d):@.%a@.@." k
-    Optimality.Verify.pp_report r2;
-  let syntax = parse_syntax "xy,yx" in
-  let r3 = Optimality.Verify.theorem3_report ~k syntax in
-  Format.printf "Theorem 3 (syntax xy,yx, Z%d):@.%a@." k
-    Optimality.Verify.pp_report r3
+(* The atomic-commitment verification pass behind [ccopt verify
+   --twopc] and the @check smoke: the exhaustive single-fault
+   micro-universes at 1-3 participants, then a fixed-seed fault-matrix
+   grid (crash rate x slow rate) through the commit service. Exit 1 on
+   any AC1-AC5 violation, with the witness on stderr. *)
+let verify_twopc () =
+  let cfg = Sched.Twopc.default in
+  let bad = ref 0 in
+  let rounds_total = ref 0 in
+  List.iter
+    (fun n_parts ->
+      let rounds = Sched.Twopc.universe cfg ~n_parts ~seed:1 in
+      rounds_total := !rounds_total + List.length rounds;
+      List.iter
+        (fun (_, r, vs) ->
+          if vs <> [] then begin
+            incr bad;
+            Printf.eprintf "ccopt verify: 2PC violation (%d participants):\n%s\n"
+              n_parts (Sched.Twopc.witness r vs)
+          end)
+        rounds)
+    [ 1; 2; 3 ];
+  let grid_rounds = ref 0 in
+  List.iter
+    (fun crash_rate ->
+      List.iter
+        (fun slow_rate ->
+          let svc =
+            Sched.Twopc.service ~crash_rate ~slow_rate ~seed:11 ~shards:3 ()
+          in
+          for tx = 0 to 19 do
+            ignore (Sched.Twopc.commit svc ~tx ~shards:[ 0; 1; 2 ])
+          done;
+          let t = Sched.Twopc.totals svc in
+          grid_rounds := !grid_rounds + t.Sched.Twopc.rounds;
+          if t.Sched.Twopc.rounds <> t.Sched.Twopc.committed + t.Sched.Twopc.aborted
+          then begin
+            incr bad;
+            Printf.eprintf
+              "ccopt verify: 2PC service accounting broken at rates %g/%g\n"
+              crash_rate slow_rate
+          end)
+        [ 0.; 0.2; 0.5 ])
+    [ 0.; 0.2; 0.5 ];
+  Printf.printf
+    "2PC AC1-AC5: %d single-fault rounds exhaustively checked, %d \
+     fault-matrix service rounds, %d violations\n"
+    !rounds_total !grid_rounds !bad;
+  if !bad > 0 then exit 1
+
+let verify k twopc =
+  if twopc then verify_twopc ()
+  else begin
+    let r2 =
+      Optimality.Verify.theorem2_report ~k ~fmt:[| 2; 1 |] ~vars:[ "x" ]
+    in
+    Format.printf "Theorem 2 (format (2,1), Z%d):@.%a@.@." k
+      Optimality.Verify.pp_report r2;
+    let syntax = parse_syntax "xy,yx" in
+    let r3 = Optimality.Verify.theorem3_report ~k syntax in
+    Format.printf "Theorem 3 (syntax xy,yx, Z%d):@.%a@." k
+      Optimality.Verify.pp_report r3
+  end
 
 let analyze spec sched_spec policy_name certify_name k json =
   let syntax = parse_syntax spec in
@@ -159,9 +214,10 @@ let read_file file =
   s
 
 let bench sizes mixes n_vars streams min_time seed smoke json out shards
-    shard_sizes mv_sizes mv_samples parallel domains =
-  (* the section is opt-in (--parallel); --domains picks the sweep,
-     defaulting to the base configuration's (smoke keeps its tiny one) *)
+    shard_sizes mv_sizes mv_samples parallel domains twopc =
+  (* the sections are opt-in (--parallel, --twopc); --domains picks the
+     parallel sweep, defaulting to the base configuration's (smoke
+     keeps its tiny one) *)
   let par_domains_for (base : Sim.Sched_bench.spec) =
     if not parallel then []
     else
@@ -169,12 +225,16 @@ let bench sizes mixes n_vars streams min_time seed smoke json out shards
       | "" -> base.Sim.Sched_bench.par_domains
       | spec -> parse_ints spec
   in
+  let twopc_rates_for (base : Sim.Sched_bench.spec) =
+    if twopc then base.Sim.Sched_bench.twopc_fault_rates else []
+  in
   let par_domains = par_domains_for Sim.Sched_bench.default in
   let spec =
     if smoke then
       {
         Sim.Sched_bench.smoke with
         par_domains = par_domains_for Sim.Sched_bench.smoke;
+        twopc_fault_rates = twopc_rates_for Sim.Sched_bench.smoke;
       }
     else
       {
@@ -195,22 +255,32 @@ let bench sizes mixes n_vars streams min_time seed smoke json out shards
         par_sizes = Sim.Sched_bench.default.Sim.Sched_bench.par_sizes;
         par_mixes = Sim.Sched_bench.default.Sim.Sched_bench.par_mixes;
         par_streams = Sim.Sched_bench.default.Sim.Sched_bench.par_streams;
+        twopc_fault_rates = twopc_rates_for Sim.Sched_bench.default;
+        twopc_rounds = Sim.Sched_bench.default.Sim.Sched_bench.twopc_rounds;
+        twopc_parts = Sim.Sched_bench.default.Sim.Sched_bench.twopc_parts;
       }
   in
   let rows = Sim.Sched_bench.run spec in
   let mv = Sim.Sched_bench.mv_stats spec in
+  let twopc_sec = Sim.Sched_bench.twopc_stats spec in
   let body =
     if json then begin
-      let s = Sim.Sched_bench.to_json ~mv spec rows in
+      let s = Sim.Sched_bench.to_json ~mv ?twopc:twopc_sec spec rows in
       if not (Sim.Sched_bench.json_well_formed s) then begin
         prerr_endline "ccopt: internal error: bench emitted malformed JSON";
         exit 1
       end;
       s
     end
-    else
-      Format.asprintf "%a%a" Sim.Sched_bench.pp_rows rows
-        Sim.Sched_bench.pp_mv_stats mv
+    else begin
+      let base =
+        Format.asprintf "%a%a" Sim.Sched_bench.pp_rows rows
+          Sim.Sched_bench.pp_mv_stats mv
+      in
+      match twopc_sec with
+      | None -> base
+      | Some s -> base ^ Format.asprintf "%a@." Sim.Sched_bench.pp_twopc s
+    end
   in
   match out with
   | None -> print_string body
@@ -639,9 +709,20 @@ let analyze_cmd =
 
 let verify_cmd =
   let k = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Domain size Z_k.") in
+  let twopc =
+    Arg.(
+      value & flag
+      & info [ "twopc" ]
+          ~doc:"Verify the distributed-commit layer instead: AC1-AC5 over \
+                the exhaustive single-fault micro-universes and a \
+                fixed-seed crash/slow-link fault matrix; exit 1 on any \
+                violation, with a replayable witness on stderr.")
+  in
   Cmd.v
-    (Cmd.info "verify" ~doc:"exhaustive micro-universe theorem checks")
-    Term.(const verify $ k)
+    (Cmd.info "verify"
+       ~doc:"exhaustive micro-universe checks (KP theorems; --twopc for \
+             atomic commitment)")
+    Term.(const verify $ k $ twopc)
 
 let measure_cmd =
   let samples =
@@ -769,15 +850,25 @@ let bench_cmd =
                 the speedup baseline). Defaults to the configuration's \
                 sweep.")
   in
+  let twopc =
+    Arg.(
+      value & flag
+      & info [ "twopc" ]
+          ~doc:"Also run the distributed-commit section (Sched.Twopc): \
+                commit latency, abort rate and in-doubt blocking window \
+                per fault rate, plus the measured coordinator-crash \
+                blocking window.")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"scheduler micro-benchmark (requests/sec, incl. SGT vs SGT-ref, \
-             sharded vs monolithic SGT, the multi-version admission section \
-             and the --parallel wall-clock engine sweep)")
+             sharded vs monolithic SGT, the multi-version admission section, \
+             the --parallel wall-clock engine sweep and the --twopc \
+             distributed-commit section)")
     Term.(
       const bench $ sizes $ mixes $ n_vars $ streams $ min_time $ seed $ smoke
       $ json $ out $ shards $ shard_sizes $ mv_sizes $ mv_samples $ parallel
-      $ domains)
+      $ domains $ twopc)
 
 let trace_cmd =
   let sched =

@@ -1,5 +1,12 @@
 type abort_reason = Deadlock | Scheduler_abort
 
+type twopc_payload =
+  | Prepare
+  | Vote of bool
+  | Decision of bool
+  | Ack
+  | Decision_req
+
 type t =
   | Submitted of { tx : int; idx : int }
   | Delayed of { tx : int; idx : int }
@@ -20,6 +27,12 @@ type t =
   | Version_installed of { tx : int; var : string; value : int }
   | Ww_refused of { tx : int; var : string }
   | Pivot_refused of { tx : int; cyclic : bool }
+  | Twopc_sent of { tx : int; src : int; dst : int; msg : twopc_payload }
+  | Twopc_delivered of { tx : int; src : int; dst : int; msg : twopc_payload }
+  | Twopc_decided of { tx : int; node : int; commit : bool }
+  | Twopc_timeout of { tx : int; node : int; timer : string }
+  | Node_crashed of { tx : int; node : int }
+  | Node_recovered of { tx : int; node : int }
 
 let tx = function
   | Submitted { tx; _ }
@@ -38,7 +51,28 @@ let tx = function
   | Version_installed { tx; _ }
   | Ww_refused { tx; _ }
   | Pivot_refused { tx; _ } -> Some tx
-  | Edge_added _ | Wound _ | Shard_routed _ -> None
+  | Edge_added _ | Wound _ | Shard_routed _ | Twopc_sent _
+  | Twopc_delivered _ | Twopc_decided _ | Twopc_timeout _ | Node_crashed _
+  | Node_recovered _ -> None
+
+let payload_to_string = function
+  | Prepare -> "prepare"
+  | Vote true -> "vote-yes"
+  | Vote false -> "vote-no"
+  | Decision true -> "commit"
+  | Decision false -> "abort"
+  | Ack -> "ack"
+  | Decision_req -> "decision-req"
+
+let payload_of_string = function
+  | "prepare" -> Some Prepare
+  | "vote-yes" -> Some (Vote true)
+  | "vote-no" -> Some (Vote false)
+  | "commit" -> Some (Decision true)
+  | "abort" -> Some (Decision false)
+  | "ack" -> Some Ack
+  | "decision-req" -> Some Decision_req
+  | _ -> None
 
 let pp ppf = function
   | Submitted { tx; idx } -> Format.fprintf ppf "submit T%d.%d" (tx + 1) idx
@@ -75,5 +109,20 @@ let pp ppf = function
   | Pivot_refused { tx; cyclic } ->
     Format.fprintf ppf "pivot-refused T%d%s" (tx + 1)
       (if cyclic then " (cyclic)" else " (false-positive)")
+  | Twopc_sent { tx; src; dst; msg } ->
+    Format.fprintf ppf "2pc-send T%d %d->%d %s" (tx + 1) src dst
+      (payload_to_string msg)
+  | Twopc_delivered { tx; src; dst; msg } ->
+    Format.fprintf ppf "2pc-recv T%d %d->%d %s" (tx + 1) src dst
+      (payload_to_string msg)
+  | Twopc_decided { tx; node; commit } ->
+    Format.fprintf ppf "2pc-decided T%d node=%d %s" (tx + 1) node
+      (if commit then "commit" else "abort")
+  | Twopc_timeout { tx; node; timer } ->
+    Format.fprintf ppf "2pc-timeout T%d node=%d %s" (tx + 1) node timer
+  | Node_crashed { tx; node } ->
+    Format.fprintf ppf "crash T%d node=%d" (tx + 1) node
+  | Node_recovered { tx; node } ->
+    Format.fprintf ppf "recover T%d node=%d" (tx + 1) node
 
 let to_string ev = Format.asprintf "%a" pp ev

@@ -17,6 +17,15 @@ type abort_reason =
   | Deadlock        (** victim named while resolving a stall *)
   | Scheduler_abort (** the scheduler answered a request with [Abort] *)
 
+type twopc_payload =
+  | Prepare           (** coordinator asks a participant to vote *)
+  | Vote of bool      (** participant's vote ([true] = yes, forced-logged) *)
+  | Decision of bool  (** coordinator's outcome ([true] = commit) *)
+  | Ack               (** participant acknowledged a commit decision *)
+  | Decision_req      (** in-doubt participant asks for the outcome *)
+      (** Payload of a two-phase-commit message, as recorded in
+          {!Twopc_sent}/{!Twopc_delivered}. *)
+
 type t =
   | Submitted of { tx : int; idx : int }  (** request entered the system *)
   | Delayed of { tx : int; idx : int }
@@ -59,12 +68,40 @@ type t =
           (rw-antidependency in and out); [cyclic] reports whether the
           shadow serialization graph actually closed a cycle — [false]
           marks a false-positive abort *)
+  | Twopc_sent of { tx : int; src : int; dst : int; msg : twopc_payload }
+      (** a 2PC message for [tx]'s commit round left node [src] towards
+          node [dst] (participants are numbered from 0; the coordinator
+          is the highest node id of the round's cluster) *)
+  | Twopc_delivered of { tx : int; src : int; dst : int; msg : twopc_payload }
+      (** the message arrived and was processed by [dst] (messages to
+          crashed nodes are dropped and emit no delivery) *)
+  | Twopc_decided of { tx : int; node : int; commit : bool }
+      (** [node] durably decided [tx]'s outcome — every node of a round
+          emits at most one, so conflicting values are an AC1/AC2
+          violation on their face *)
+  | Twopc_timeout of { tx : int; node : int; timer : string }
+      (** a protocol timer fired at [node]; [timer] is one of
+          ["prepare"], ["vote"], ["decision"], ["ack"] *)
+  | Node_crashed of { tx : int; node : int }
+      (** [node] crashed during [tx]'s commit round, losing volatile
+          state and pending timers (its persistent log survives) *)
+  | Node_recovered of { tx : int; node : int }
+      (** [node] restarted and ran presumed-abort recovery from its log *)
 
 val tx : t -> int option
 (** The transaction a lifecycle event belongs to; [None] for
-    {!Edge_added}, {!Wound} and {!Shard_routed}, which concern the
-    scheduler itself (they export on the scheduler track, track 0).
-    The multi-version events all carry their transaction. *)
+    {!Edge_added}, {!Wound}, {!Shard_routed} and the 2PC/crash events,
+    which concern the scheduler itself (they export on the scheduler
+    track, track 0). The multi-version events all carry their
+    transaction. *)
+
+val payload_to_string : twopc_payload -> string
+(** Wire token of a 2PC payload — ["prepare"], ["vote-yes"],
+    ["vote-no"], ["commit"], ["abort"], ["ack"], ["decision-req"] — as
+    used by {!Event_log} and the trace exporter. *)
+
+val payload_of_string : string -> twopc_payload option
+(** Inverse of {!payload_to_string}. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -41,6 +41,20 @@ let line_of (ts, (ev : Event.t)) =
     Printf.sprintf "%s ww-refused tx=%d var=%s" t tx var
   | Pivot_refused { tx; cyclic } ->
     Printf.sprintf "%s pivot-refused tx=%d cyclic=%b" t tx cyclic
+  | Twopc_sent { tx; src; dst; msg } ->
+    Printf.sprintf "%s twopc-sent tx=%d src=%d dst=%d msg=%s" t tx src dst
+      (Event.payload_to_string msg)
+  | Twopc_delivered { tx; src; dst; msg } ->
+    Printf.sprintf "%s twopc-delivered tx=%d src=%d dst=%d msg=%s" t tx src dst
+      (Event.payload_to_string msg)
+  | Twopc_decided { tx; node; commit } ->
+    Printf.sprintf "%s twopc-decided tx=%d node=%d commit=%b" t tx node commit
+  | Twopc_timeout { tx; node; timer } ->
+    Printf.sprintf "%s twopc-timeout tx=%d node=%d timer=%s" t tx node timer
+  | Node_crashed { tx; node } ->
+    Printf.sprintf "%s node-crashed tx=%d node=%d" t tx node
+  | Node_recovered { tx; node } ->
+    Printf.sprintf "%s node-recovered tx=%d node=%d" t tx node
 
 let to_string ?(dropped = 0) events =
   let b = Buffer.create 4096 in
@@ -176,6 +190,43 @@ let event_of_line line =
           | c -> Error (Printf.sprintf "field cyclic: bad boolean %S" c)
         in
         Ok (Event.Pivot_refused { tx; cyclic })
+      | "twopc-sent" | "twopc-delivered" ->
+        let* tx = tx () in
+        let* src = int_field fields "src" in
+        let* dst = int_field fields "dst" in
+        let* msg = field fields "msg" in
+        let* msg =
+          match Event.payload_of_string msg with
+          | Some m -> Ok m
+          | None -> Error (Printf.sprintf "field msg: bad payload %S" msg)
+        in
+        Ok
+          (if name = "twopc-sent" then Event.Twopc_sent { tx; src; dst; msg }
+           else Event.Twopc_delivered { tx; src; dst; msg })
+      | "twopc-decided" ->
+        let* tx = tx () in
+        let* node = int_field fields "node" in
+        let* commit = field fields "commit" in
+        let* commit =
+          match commit with
+          | "true" -> Ok true
+          | "false" -> Ok false
+          | c -> Error (Printf.sprintf "field commit: bad boolean %S" c)
+        in
+        Ok (Event.Twopc_decided { tx; node; commit })
+      | "twopc-timeout" ->
+        let* tx = tx () in
+        let* node = int_field fields "node" in
+        let* timer = field fields "timer" in
+        Ok (Event.Twopc_timeout { tx; node; timer })
+      | "node-crashed" ->
+        let* tx = tx () in
+        let* node = int_field fields "node" in
+        Ok (Event.Node_crashed { tx; node })
+      | "node-recovered" ->
+        let* tx = tx () in
+        let* node = int_field fields "node" in
+        Ok (Event.Node_recovered { tx; node })
       | name -> Error (Printf.sprintf "unknown event %S" name)
     in
     Ok (ts, ev))

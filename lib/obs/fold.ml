@@ -79,7 +79,9 @@ let counters events =
       | Executed _ | Restarted _ | Edge_added _ | Cycle_refused _
       | Lock_acquired _ | Lock_released _ | Wound _ | Ts_refused _
       | Shard_routed _ | Snapshot_taken _ | Version_read _
-      | Version_installed _ | Ww_refused _ | Pivot_refused _ -> ())
+      | Version_installed _ | Ww_refused _ | Pivot_refused _ | Twopc_sent _
+      | Twopc_delivered _ | Twopc_decided _ | Twopc_timeout _
+      | Node_crashed _ | Node_recovered _ -> ())
     events;
   !c
 
@@ -105,7 +107,9 @@ let spans ~n events =
       | Restarted _ | Edge_added _ | Cycle_refused _ | Lock_acquired _
       | Lock_released _ | Wound _ | Ts_refused _ | Shard_routed _
       | Snapshot_taken _ | Version_read _ | Version_installed _
-      | Ww_refused _ | Pivot_refused _ -> ())
+      | Ww_refused _ | Pivot_refused _ | Twopc_sent _ | Twopc_delivered _
+      | Twopc_decided _ | Twopc_timeout _ | Node_crashed _
+      | Node_recovered _ -> ())
     events;
   sp
 
@@ -154,7 +158,9 @@ let history events =
       | Submitted _ | Delayed _ | Granted _ | Restarted _ | Edge_added _
       | Cycle_refused _ | Lock_acquired _ | Lock_released _ | Wound _
       | Ts_refused _ | Shard_routed _ | Snapshot_taken _ | Version_read _
-      | Version_installed _ | Ww_refused _ | Pivot_refused _ -> ())
+      | Version_installed _ | Ww_refused _ | Pivot_refused _ | Twopc_sent _
+      | Twopc_delivered _ | Twopc_decided _ | Twopc_timeout _
+      | Node_crashed _ | Node_recovered _ -> ())
     events;
   {
     steps =
@@ -215,7 +221,9 @@ let mv_history events =
       | Submitted _ | Delayed _ | Granted _ | Executed _ | Restarted _
       | Edge_added _ | Cycle_refused _ | Lock_acquired _ | Lock_released _
       | Wound _ | Ts_refused _ | Shard_routed _ | Snapshot_taken _
-      | Ww_refused _ | Pivot_refused _ -> ())
+      | Ww_refused _ | Pivot_refused _ | Twopc_sent _ | Twopc_delivered _
+      | Twopc_decided _ | Twopc_timeout _ | Node_crashed _
+      | Node_recovered _ -> ())
     events;
   {
     recorded = !recorded;
@@ -223,6 +231,34 @@ let mv_history events =
     mv_commits = List.sort_uniq compare !commits;
     mv_truncated = !truncated;
   }
+
+let blocking_windows events =
+  (* In-doubt start per (tx, node): a participant enters the window when
+     its yes-vote leaves (the forced log write and the send share the
+     handler step), and leaves it at its own decision event. First vote
+     opens, first decision closes; a later round of the same transaction
+     (after an abort + restart) opens a fresh window and the maximum is
+     kept. *)
+  let doubt : (int * int, float) Hashtbl.t = Hashtbl.create 16 in
+  let acc : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (ts, ev) ->
+      match (ev : Event.t) with
+      | Twopc_sent { tx; src; msg = Vote true; _ } ->
+        if not (Hashtbl.mem doubt (tx, src)) then Hashtbl.add doubt (tx, src) ts
+      | Twopc_decided { tx; node; _ } -> (
+        match Hashtbl.find_opt doubt (tx, node) with
+        | None -> ()
+        | Some t0 ->
+          Hashtbl.remove doubt (tx, node);
+          let w = ts -. t0 in
+          let cur =
+            match Hashtbl.find_opt acc tx with Some c -> c | None -> 0.
+          in
+          if w > cur then Hashtbl.replace acc tx w)
+      | _ -> ())
+    events;
+  List.sort compare (Hashtbl.fold (fun tx w l -> (tx, w) :: l) acc [])
 
 let grant_waits events =
   let acc = ref [] in

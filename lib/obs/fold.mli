@@ -96,6 +96,17 @@ type mv_history = {
           counter. *)
 }
 
+val blocking_windows : (float * Event.t) list -> (int * float) list
+(** Per-transaction 2PC blocking windows recovered from the trace: for
+    each transaction with a commit round, the maximum over participants
+    of [decided_ts - yes_vote_sent_ts] — the span a yes-voter was in
+    doubt (uncertain of the outcome, unable to release anything). A
+    participant that never voted yes contributes no window; several
+    rounds of the same transaction (abort + restart) keep the maximum.
+    On a complete round trace this equals the simulator's own measured
+    [blocking] (enforced differentially by [test/test_twopc.ml]).
+    Sorted by transaction id. *)
+
 val mv_history : (float * Event.t) list -> mv_history
 (** Reconstruct the per-transaction read/write access log of a
     multi-version run from its [Version_read]/[Version_installed]

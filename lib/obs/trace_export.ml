@@ -130,7 +130,34 @@ let entries events =
       | Pivot_refused { tx; cyclic } ->
         push
           (instant ~cat:internal ~ts ~tid:(tx + 1) "pivot-refused"
-             [ ("cyclic", Str (if cyclic then "true" else "false")) ]))
+             [ ("cyclic", Str (if cyclic then "true" else "false")) ])
+      | Twopc_sent { tx; src; dst; msg } ->
+        push
+          (instant ~cat:internal ~ts ~tid:0 "2pc-send"
+             [ ("tx", Int (tx + 1)); ("src", Int src); ("dst", Int dst);
+               ("msg", Str (Event.payload_to_string msg)) ])
+      | Twopc_delivered { tx; src; dst; msg } ->
+        push
+          (instant ~cat:internal ~ts ~tid:0 "2pc-recv"
+             [ ("tx", Int (tx + 1)); ("src", Int src); ("dst", Int dst);
+               ("msg", Str (Event.payload_to_string msg)) ])
+      | Twopc_decided { tx; node; commit } ->
+        push
+          (instant ~cat:internal ~ts ~tid:0 "2pc-decided"
+             [ ("tx", Int (tx + 1)); ("node", Int node);
+               ("outcome", Str (if commit then "commit" else "abort")) ])
+      | Twopc_timeout { tx; node; timer } ->
+        push
+          (instant ~cat:internal ~ts ~tid:0 "2pc-timeout"
+             [ ("tx", Int (tx + 1)); ("node", Int node); ("timer", Str timer) ])
+      | Node_crashed { tx; node } ->
+        push
+          (instant ~cat:internal ~ts ~tid:0 "node-crashed"
+             [ ("tx", Int (tx + 1)); ("node", Int node) ])
+      | Node_recovered { tx; node } ->
+        push
+          (instant ~cat:internal ~ts ~tid:0 "node-recovered"
+             [ ("tx", Int (tx + 1)); ("node", Int node) ]))
     events;
   (* a truncated trace (ring overflow) may leave spans open: close them
      so every B has its E *)

@@ -145,6 +145,14 @@ let remap_event g : Obs.Event.t -> Obs.Event.t = function
     Version_installed { tx = g.(tx); var; value }
   | Ww_refused { tx; var } -> Ww_refused { tx = g.(tx); var }
   | Pivot_refused { tx; cyclic } -> Pivot_refused { tx = g.(tx); cyclic }
+  | Twopc_sent { tx; src; dst; msg } -> Twopc_sent { tx = g.(tx); src; dst; msg }
+  | Twopc_delivered { tx; src; dst; msg } ->
+    Twopc_delivered { tx = g.(tx); src; dst; msg }
+  | Twopc_decided { tx; node; commit } ->
+    Twopc_decided { tx = g.(tx); node; commit }
+  | Twopc_timeout { tx; node; timer } -> Twopc_timeout { tx = g.(tx); node; timer }
+  | Node_crashed { tx; node } -> Node_crashed { tx = g.(tx); node }
+  | Node_recovered { tx; node } -> Node_recovered { tx = g.(tx); node }
 
 let run ?(queue = Chan.Ring) ?capacity ?(sink = Obs.Sink.null) ?domains
     ~shards ~syntax ~arrivals () =

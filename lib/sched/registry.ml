@@ -61,6 +61,14 @@ let all =
     entry ~standard:true "SSI" (fun ?sink syntax ->
         Ssi.create ?sink ~syntax ());
     entry "SGT-ref" (fun ?sink:_ syntax -> Sgt_ref.create ~syntax);
+    (* The sharded engine with cross-shard commits routed through a
+       fault-free 2PC service: decision-identical to "sharded" (the
+       no-faults pin, enforced by test/test_twopc.ml), but every
+       cross-shard commit round flows through the trace. Non-standard so
+       the golden measurement tables keep their shape. *)
+    entry "sharded-2PC" (fun ?sink syntax ->
+        let svc = Twopc.service ?sink ~shards:4 () in
+        Sharded.create ?sink ~commit_cross:(Twopc.commit svc) ~syntax ());
   ]
 
 let standard = List.filter (fun e -> e.standard) all

@@ -1,9 +1,26 @@
 open Core
 
-let create ?(sink = Obs.Sink.null) ?(shards = 4) ~syntax () =
+let create ?(sink = Obs.Sink.null) ?(shards = 4) ?commit_cross ~syntax () =
   let p = Partition.make ~syntax ~shards in
   let fmt = Syntax.format syntax in
   let n = p.Partition.n in
+  (* Touched-shard lists of the cross-shard transactions, decoded once
+     from the partition bitmasks — the participant sets handed to the
+     atomic-commit hook. *)
+  let shards_of_tx =
+    match commit_cross with
+    | None -> [||]
+    | Some _ ->
+      Array.init n (fun tx ->
+          if not p.Partition.cross.(tx) then []
+          else begin
+            let acc = ref [] in
+            for s = shards - 1 downto 0 do
+              if p.Partition.mask.(tx) land (1 lsl s) <> 0 then acc := s :: !acc
+            done;
+            !acc
+          end)
+  in
   (* Per-shard replicas of the {!Sgt} state, over shard-local ids:
      accessor history per shard-local variable, activity flags, the
      incremental conflict graph, and the removal version stamp backing
@@ -125,7 +142,17 @@ let create ?(sink = Obs.Sink.null) ?(shards = 4) ~syntax () =
           Obs.Sink.record sink (Obs.Event.Cycle_refused { tx; idx });
         Scheduler.Delay
       end
-      else Scheduler.Grant
+      else begin
+        (* Terminal success of a cross-shard transaction: run the
+           distributed commit round before granting. An abort here is a
+           scheduler abort like any certification refusal — the driver
+           restarts the transaction from scratch. *)
+        match commit_cross with
+        | Some decide when idx = fmt.(tx) - 1 && p.Partition.cross.(tx) ->
+          if decide ~tx ~shards:shards_of_tx.(tx) then Scheduler.Grant
+          else Scheduler.Abort
+        | _ -> Scheduler.Grant
+      end
     end
   in
   let forget s l =

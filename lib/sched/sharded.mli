@@ -32,10 +32,29 @@ open Core
     statistics and fixpoint set coincide exactly with {!Sgt}'s. *)
 
 val create :
-  ?sink:Obs.Sink.t -> ?shards:int -> syntax:Syntax.t -> unit -> Scheduler.t
+  ?sink:Obs.Sink.t ->
+  ?shards:int ->
+  ?commit_cross:(tx:int -> shards:int list -> bool) ->
+  syntax:Syntax.t ->
+  unit ->
+  Scheduler.t
 (** [shards] defaults to 4. With a [sink], each fresh (non-cached)
     request emits {!Obs.Event.Shard_routed} with the owning shard,
     admitted intra-shard conflict edges emit {!Obs.Event.Edge_added} and
     fresh refusals emit {!Obs.Event.Cycle_refused}, all with global
     transaction ids. Constructor shape per the convention in
-    {!Scheduler}. Raises [Invalid_argument] unless [1 <= shards <= 62]. *)
+    {!Scheduler}. Raises [Invalid_argument] unless [1 <= shards <= 62].
+
+    [commit_cross] is the distributed atomic-commit hook: when the
+    {e final} step of a {e cross-shard} transaction passes admission,
+    the hook runs one commit round over the transaction's touched
+    shards (typically {!Twopc.commit} of a {!Twopc.service}); [false]
+    turns the grant into [Abort], handing the transaction back to the
+    driver for a restart — the scheduler-abort path, identical to a
+    certification refusal. The hook fires only on that terminal success
+    path (never while polling a cached delay), so a fault-free hook
+    that always answers [true] — or no hook at all — yields
+    bit-identical decisions, statistics and commit sets.
+    Single-shard transactions never consult it: their conflicts are
+    provably local, so they commit without coordination — the
+    coordination-avoidance boundary made executable. *)

@@ -23,6 +23,13 @@ type spec = {
   par_sizes : (int * int) list;
   par_mixes : string list;
   par_streams : int;
+  (* distributed-commit section; empty [twopc_fault_rates] skips it.
+     Each rate drives [twopc_rounds] commit rounds through a
+     [Sched.Twopc.service] over [twopc_parts] participants, with the
+     crash rate at the sweep value and the slow-link rate at half it. *)
+  twopc_fault_rates : float list;
+  twopc_rounds : int;
+  twopc_parts : int;
 }
 
 type row = {
@@ -56,6 +63,9 @@ let default =
     par_sizes = [ (2048, 2); (256, 2) ];
     par_mixes = [ "disjoint"; "hot" ];
     par_streams = 2;
+    twopc_fault_rates = [ 0.; 0.05; 0.1; 0.2; 0.4 ];
+    twopc_rounds = 400;
+    twopc_parts = 3;
   }
 
 let smoke =
@@ -77,6 +87,9 @@ let smoke =
     par_sizes = [ (16, 2) ];
     par_mixes = [ "disjoint" ];
     par_streams = 1;
+    twopc_fault_rates = [ 0.; 0.3 ];
+    twopc_rounds = 20;
+    twopc_parts = 2;
   }
 
 let syntax_of_mix st ~mix ~n ~m ~n_vars =
@@ -451,6 +464,108 @@ let parallel_speedups rows =
       | _ -> None)
     rows
 
+(* ---------- distributed-commit (2PC) section ---------- *)
+
+type twopc_stat = {
+  fault_rate : float;
+  tp_rounds : int;
+  tp_commits : int;
+  tp_aborts : int;
+  abort_rate : float;
+  avg_latency : float;
+  avg_blocking : float;
+  max_blocking : float;
+  tp_msgs : int;
+  tp_crashes : int;
+}
+
+type twopc_section = {
+  tp_parts : int;
+  sweep : twopc_stat list;
+  cc_repair : float;
+  cc_avg_blocking : float;
+  cc_max_blocking : float;
+}
+
+let twopc_stats spec =
+  match spec.twopc_fault_rates with
+  | [] -> None
+  | rates ->
+    let parts = List.init spec.twopc_parts (fun p -> p) in
+    let sweep =
+      List.map
+        (fun rate ->
+          let svc =
+            Sched.Twopc.service ~crash_rate:rate ~slow_rate:(rate /. 2.)
+              ~seed:spec.seed ~shards:spec.twopc_parts ()
+          in
+          for tx = 0 to spec.twopc_rounds - 1 do
+            ignore (Sched.Twopc.commit svc ~tx ~shards:parts)
+          done;
+          let t = Sched.Twopc.totals svc in
+          let fl n = float_of_int (max 1 n) in
+          {
+            fault_rate = rate;
+            tp_rounds = t.Sched.Twopc.rounds;
+            tp_commits = t.Sched.Twopc.committed;
+            tp_aborts = t.Sched.Twopc.aborted;
+            abort_rate =
+              float_of_int t.Sched.Twopc.aborted /. fl t.Sched.Twopc.rounds;
+            avg_latency = t.Sched.Twopc.latency_sum /. fl t.Sched.Twopc.rounds;
+            avg_blocking =
+              t.Sched.Twopc.blocking_sum /. fl t.Sched.Twopc.rounds;
+            max_blocking = t.Sched.Twopc.blocking_max;
+            tp_msgs = t.Sched.Twopc.total_msgs;
+            tp_crashes = t.Sched.Twopc.total_crashes;
+          })
+        rates
+    in
+    (* The headline number of the section: the coordinator crashes
+       between collecting the votes and broadcasting the decision, so
+       every yes-voter sits in doubt until the coordinator is back —
+       the blocking window of 2PC, measured over every crash placement
+       inside the vote-collection phase. *)
+    let cc_repair = 25. in
+    let coord = spec.twopc_parts in
+    let cfg = Sched.Twopc.default in
+    let windows =
+      List.map
+        (fun at_input ->
+          let r =
+            Sched.Twopc.round cfg ~nodes:(spec.twopc_parts + 1) ~coord ~parts
+              ~tx:0 ~seed:spec.seed
+              ~faults:
+                [ Sched.Twopc.Crash { node = coord; at_input; repair = cc_repair } ]
+              ()
+          in
+          r.Sched.Twopc.blocking)
+        (List.init spec.twopc_parts (fun i -> i + 1))
+    in
+    let nonzero = List.filter (fun w -> w > 0.) windows in
+    let cc_avg_blocking =
+      match nonzero with
+      | [] -> 0.
+      | ws -> List.fold_left ( +. ) 0. ws /. float_of_int (List.length ws)
+    in
+    let cc_max_blocking = List.fold_left max 0. windows in
+    Some { tp_parts = spec.twopc_parts; sweep; cc_repair; cc_avg_blocking;
+           cc_max_blocking }
+
+let pp_twopc ppf (s : twopc_section) =
+  Format.fprintf ppf
+    "@[<v>2PC over %d participants (coordinator-crash blocking: avg %.1f / \
+     max %.1f at repair %.1f):@," s.tp_parts s.cc_avg_blocking
+    s.cc_max_blocking s.cc_repair;
+  Format.fprintf ppf "%-10s %8s %8s %8s %10s %10s %10s %10s@," "fault"
+    "rounds" "commits" "aborts" "abort%" "latency" "blocking" "msgs";
+  List.iter
+    (fun t ->
+      Format.fprintf ppf "%-10.2f %8d %8d %8d %9.1f%% %10.2f %10.2f %10d@,"
+        t.fault_rate t.tp_rounds t.tp_commits t.tp_aborts
+        (100. *. t.abort_rate) t.avg_latency t.avg_blocking t.tp_msgs)
+    s.sweep;
+  Format.fprintf ppf "@]"
+
 (* ---------- JSON ---------- *)
 
 let json_escape s =
@@ -467,7 +582,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let to_json ?(mv = []) spec rows =
+let to_json ?(mv = []) ?twopc spec rows =
   let b = Buffer.create 4096 in
   let add = Buffer.add_string b in
   add "{\n";
@@ -535,6 +650,34 @@ let to_json ?(mv = []) spec rows =
              (if i = List.length psp - 1 then "" else ",")))
       psp;
     add "    }\n";
+    add "  },\n");
+  (match twopc with
+  | None -> ()
+  | Some (s : twopc_section) ->
+    add "  \"twopc\": {\n";
+    add
+      (Printf.sprintf "    \"parts\": %d,\n    \"rounds_per_rate\": %d,\n"
+         s.tp_parts spec.twopc_rounds);
+    add "    \"sweep\": [\n";
+    List.iteri
+      (fun i t ->
+        add
+          (Printf.sprintf
+             "      { \"fault_rate\": %.3f, \"rounds\": %d, \"commits\": %d, \
+              \"aborts\": %d, \"abort_rate\": %.4f, \"avg_commit_latency\": \
+              %.3f, \"avg_blocking\": %.3f, \"max_blocking\": %.3f, \
+              \"msgs\": %d, \"crashes\": %d }%s\n"
+             t.fault_rate t.tp_rounds t.tp_commits t.tp_aborts t.abort_rate
+             t.avg_latency t.avg_blocking t.max_blocking t.tp_msgs
+             t.tp_crashes
+             (if i = List.length s.sweep - 1 then "" else ",")))
+      s.sweep;
+    add "    ],\n";
+    add
+      (Printf.sprintf
+         "    \"coordinator_crash\": { \"repair\": %.1f, \"avg_blocking\": \
+          %.3f, \"max_blocking\": %.3f }\n"
+         s.cc_repair s.cc_avg_blocking s.cc_max_blocking);
     add "  },\n");
   add
     (Printf.sprintf "  \"mv_section\": {\n    \"samples\": %d,\n    \"results\": [\n"

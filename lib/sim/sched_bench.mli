@@ -55,6 +55,12 @@ type spec = {
       (** arrival streams per parallel cell (each pass replays all of
           them; kept separate from [streams] because a parallel pass at
           n = 2048 is orders of magnitude more work than a 16x8 cell) *)
+  twopc_fault_rates : float list;
+      (** distributed-commit section: crash rates to sweep ([[]]
+          disables the section; the slow-link rate rides along at half
+          the crash rate) *)
+  twopc_rounds : int;  (** commit rounds per fault rate *)
+  twopc_parts : int;   (** participants per round *)
 }
 
 type row = {
@@ -125,14 +131,56 @@ val parallel_speedups :
     parallel row whose cell also timed the d1 variant of the same
     channel build — the engine's wall-clock scaling curve. *)
 
-val to_json : ?mv:mv_stat list -> spec -> row list -> string
+(** {2 Distributed-commit (2PC) section} *)
+
+type twopc_stat = {
+  fault_rate : float;
+  tp_rounds : int;
+  tp_commits : int;
+  tp_aborts : int;
+  abort_rate : float;
+  avg_latency : float;
+      (** mean round start → coordinator decision, virtual time units *)
+  avg_blocking : float;  (** mean in-doubt window per round *)
+  max_blocking : float;
+  tp_msgs : int;
+  tp_crashes : int;  (** crash-plan entries that actually triggered *)
+}
+
+type twopc_section = {
+  tp_parts : int;
+  sweep : twopc_stat list;  (** one row per fault rate, rate order *)
+  cc_repair : float;
+      (** the repair delay of the forced coordinator-crash placements *)
+  cc_avg_blocking : float;
+      (** mean in-doubt window over the placements that opened one —
+          the measured blocking cost of a coordinator crash *)
+  cc_max_blocking : float;
+}
+
+val twopc_stats : spec -> twopc_section option
+(** Run the distributed-commit sweep: per fault rate, [twopc_rounds]
+    commit rounds through a {!Sched.Twopc.service}; plus the forced
+    coordinator-crash placements (crash between vote collection and
+    decision broadcast) that measure the protocol's blocking window.
+    [None] when the section is disabled. Deterministic per [seed] —
+    rounds run in virtual time, so the numbers are decision counts and
+    virtual latencies, not wall-clock. *)
+
+val pp_twopc : Format.formatter -> twopc_section -> unit
+
+val to_json :
+  ?mv:mv_stat list -> ?twopc:twopc_section -> spec -> row list -> string
 (** Hand-emitted JSON: [{"benchmark", "unit", "config", "results":
     [row...], "sgt_speedup_vs_ref": {...},
-    "sharded_speedup_vs_sgt": {...}, "parallel": {...},
+    "sharded_speedup_vs_sgt": {...}, "parallel": {...}, "twopc": {...},
     "mv_section": {...}}]. The ["parallel"] member appears only when
     the rows contain parallel variants; it records
     [Domain.recommended_domain_count ()] alongside the speedups so a
-    reader can tell concurrent gains from algorithmic ones. *)
+    reader can tell concurrent gains from algorithmic ones. The
+    ["twopc"] member appears only when a section is passed: the
+    fault-rate sweep rows plus the measured coordinator-crash blocking
+    window. *)
 
 val json_well_formed : string -> bool
 (** Minimal JSON well-formedness check (full-string parse) used by the

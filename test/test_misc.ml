@@ -292,6 +292,55 @@ let test_bench_merge_preserving () =
     (Sim.Sched_bench.merge_preserving ~existing:"{\"benchmark\": 0}" fresh
     = fresh)
 
+let test_bench_merge_preserves_sections () =
+  (* the committed BENCH_sched.json accumulates opt-in sections
+     (--parallel, --twopc, the mv table); regenerating without one of
+     the flags must keep the existing member — each section is emitted
+     by real spec runs here, not hand-written strings, so this breaks
+     if an emitter renames its member *)
+  let spec = { Sim.Sched_bench.smoke with min_time = 0. } in
+  let rows = Sim.Sched_bench.run { spec with par_domains = [] } in
+  let twopc =
+    match Sim.Sched_bench.twopc_stats spec with
+    | Some s -> s
+    | None -> Alcotest.fail "smoke spec must enable the 2PC section"
+  in
+  (* existing file: has twopc (and parallel-free results); fresh
+     regeneration without --twopc must preserve it *)
+  let existing = Sim.Sched_bench.to_json ~twopc spec rows in
+  let fresh =
+    Sim.Sched_bench.to_json { spec with twopc_fault_rates = [] } rows
+  in
+  (match Sim.Sched_bench.toplevel_members fresh with
+  | Some members ->
+    check_true "fresh run lacks the twopc member"
+      (List.assoc_opt "twopc" members = None)
+  | None -> Alcotest.fail "fresh not an object");
+  let merged = Sim.Sched_bench.merge_preserving ~existing fresh in
+  check_true "merged well-formed" (Sim.Sched_bench.json_well_formed merged);
+  match
+    (Sim.Sched_bench.toplevel_members existing,
+     Sim.Sched_bench.toplevel_members merged)
+  with
+  | Some old_members, Some members ->
+    check_true "twopc section preserved across regeneration"
+      (List.assoc_opt "twopc" members = List.assoc_opt "twopc" old_members);
+    check_true "twopc sweep content intact"
+      (match List.assoc_opt "twopc" members with
+      | Some raw ->
+        let contains needle =
+          let nl = String.length needle and rl = String.length raw in
+          let rec go i = i + nl <= rl
+            && (String.sub raw i nl = needle || go (i + 1)) in
+          go 0
+        in
+        contains "coordinator_crash" && contains "fault_rate"
+      | None -> false);
+    check_true "fresh results win"
+      (List.assoc_opt "results" members = List.assoc_opt "results"
+        (Option.get (Sim.Sched_bench.toplevel_members fresh)))
+  | _ -> Alcotest.fail "merge output not an object"
+
 let suite =
   suite
   @ [
@@ -300,6 +349,8 @@ let suite =
       Alcotest.test_case "format class" `Quick test_format_class;
       Alcotest.test_case "bench JSON merge preserves keys" `Quick
         test_bench_merge_preserving;
+      Alcotest.test_case "bench JSON merge preserves opt-in sections" `Quick
+        test_bench_merge_preserves_sections;
     ]
   @ qsuite
       [

@@ -218,6 +218,20 @@ let log_fixture =
     (11., Obs.Event.Wound { victim = 2 });
     (12., Obs.Event.Ts_refused { tx = 2; idx = 0 });
     (13., Obs.Event.Shard_routed { tx = 2; idx = 0; shard = 3 });
+    (* the 2PC vocabulary: every payload shape at least once *)
+    (14., Obs.Event.Twopc_sent { tx = 2; src = 4; dst = 0; msg = Obs.Event.Prepare });
+    (14.5, Obs.Event.Twopc_delivered { tx = 2; src = 4; dst = 0; msg = Obs.Event.Prepare });
+    (15., Obs.Event.Twopc_sent { tx = 2; src = 0; dst = 4; msg = Obs.Event.Vote true });
+    (15.5, Obs.Event.Twopc_delivered { tx = 2; src = 1; dst = 4; msg = Obs.Event.Vote false });
+    (16., Obs.Event.Twopc_timeout { tx = 2; node = 4; timer = "vote" });
+    (16.5, Obs.Event.Twopc_sent { tx = 2; src = 4; dst = 0; msg = Obs.Event.Decision false });
+    (17., Obs.Event.Twopc_delivered { tx = 2; src = 4; dst = 0; msg = Obs.Event.Decision true });
+    (17.5, Obs.Event.Twopc_decided { tx = 2; node = 4; commit = false });
+    (18., Obs.Event.Node_crashed { tx = 2; node = 0 });
+    (18.5, Obs.Event.Node_recovered { tx = 2; node = 0 });
+    (19., Obs.Event.Twopc_sent { tx = 2; src = 0; dst = 4; msg = Obs.Event.Decision_req });
+    (19.5, Obs.Event.Twopc_sent { tx = 2; src = 0; dst = 4; msg = Obs.Event.Ack });
+    (20., Obs.Event.Twopc_decided { tx = 2; node = 0; commit = true });
   ]
 
 let test_event_log_roundtrip () =
@@ -248,6 +262,10 @@ let test_event_log_rejects () =
   reject "bad integer" "# ccopt-events 1\n0 submitted tx=zero idx=0\n";
   reject "bad timestamp" "# ccopt-events 1\nnever submitted tx=0 idx=0\n";
   reject "bad abort reason" "# ccopt-events 1\n0 aborted tx=0 reason=tired\n";
+  reject "bad 2PC payload"
+    "# ccopt-events 1\n0 twopc-sent tx=0 src=0 dst=1 msg=carrier-pigeon\n";
+  reject "bad 2PC commit flag"
+    "# ccopt-events 1\n0 twopc-decided tx=0 node=1 commit=maybe\n";
   reject "negative dropped" "# ccopt-events 1\n# dropped -1\n";
   (* two # dropped headers: concatenated or hand-edited logs; the old
      parser silently let the last one win *)
@@ -277,6 +295,109 @@ let test_event_log_error_positions () =
      data may simply be cut short *)
   check_int "truncated malformed line cited" 2
     (line_of "# ccopt-events 1\n0 submitted tx=")
+
+(* ---------- event-log fuzz: parse ∘ print = id ---------- *)
+
+let any_event_gen =
+  QCheck.Gen.(
+    let id = int_range 0 9 in
+    let payload =
+      oneofl
+        [
+          Obs.Event.Prepare;
+          Obs.Event.Vote true;
+          Obs.Event.Vote false;
+          Obs.Event.Decision true;
+          Obs.Event.Decision false;
+          Obs.Event.Ack;
+          Obs.Event.Decision_req;
+        ]
+    in
+    let timer = oneofl [ "prepare"; "vote"; "decision"; "ack" ] in
+    oneof
+      [
+        map2 (fun tx idx -> Obs.Event.Submitted { tx; idx }) id id;
+        map2 (fun tx idx -> Obs.Event.Delayed { tx; idx }) id id;
+        map2 (fun tx idx -> Obs.Event.Granted { tx; idx }) id id;
+        map2 (fun tx idx -> Obs.Event.Executed { tx; idx }) id id;
+        map2
+          (fun tx dl ->
+            Obs.Event.Aborted
+              {
+                tx;
+                reason =
+                  (if dl then Obs.Event.Deadlock
+                   else Obs.Event.Scheduler_abort);
+              })
+          id bool;
+        map (fun tx -> Obs.Event.Restarted { tx }) id;
+        map (fun tx -> Obs.Event.Committed { tx }) id;
+        map2 (fun src dst -> Obs.Event.Edge_added { src; dst }) id id;
+        map2 (fun tx idx -> Obs.Event.Cycle_refused { tx; idx }) id id;
+        map2 (fun tx idx -> Obs.Event.Shard_routed { tx; idx; shard = 1 }) id id;
+        map3
+          (fun tx src msg -> Obs.Event.Twopc_sent { tx; src; dst = src + 1; msg })
+          id id payload;
+        map3
+          (fun tx src msg ->
+            Obs.Event.Twopc_delivered { tx; src; dst = src + 1; msg })
+          id id payload;
+        map3
+          (fun tx node commit -> Obs.Event.Twopc_decided { tx; node; commit })
+          id id bool;
+        map3
+          (fun tx node timer -> Obs.Event.Twopc_timeout { tx; node; timer })
+          id id timer;
+        map2 (fun tx node -> Obs.Event.Node_crashed { tx; node }) id id;
+        map2 (fun tx node -> Obs.Event.Node_recovered { tx; node }) id id;
+      ])
+
+let trace_gen =
+  QCheck.Gen.(
+    pair (int_range 0 5)
+      (list_size (int_range 0 60)
+         (pair (map (fun i -> float_of_int i /. 7.) (int_range 0 10_000))
+            any_event_gen)))
+
+let prop_log_roundtrip =
+  QCheck.Test.make ~count:300
+    ~name:"event log: parse ∘ print = id on fuzzed traces (incl. 2PC)"
+    (QCheck.make trace_gen)
+    (fun (dropped, events) ->
+      match Obs.Event_log.parse (Obs.Event_log.to_string ~dropped events) with
+      | Ok (es, d) -> es = events && d = dropped
+      | Error _ -> false)
+
+(* ---------- ring truncation propagates to checker Unknown ---------- *)
+
+let test_ring_truncation_unknown () =
+  (* record a real contended run through a ring too small for it: the
+     drop counter is the only evidence entire transactions may be gone,
+     so the reconstructed history must be marked incomplete and the
+     checker must answer Unknown at every level instead of risking a
+     false verdict *)
+  let syntax =
+    Core.Syntax.of_lists
+      [ [ "x"; "y" ]; [ "y"; "x" ]; [ "x"; "z" ]; [ "z"; "y" ] ]
+  in
+  let fmt = Core.Syntax.format syntax in
+  let buf = Obs.Sink.Ring.create ~capacity:8 in
+  let sink = Obs.Sink.Ring.sink buf in
+  let arrivals = Combin.Interleave.random (rng 2) fmt in
+  let _ =
+    Sched.Driver.run ~sink (Sched.Sgt.create ~sink ~syntax ()) ~fmt ~arrivals
+  in
+  check_true "the ring actually dropped" (Obs.Sink.Ring.dropped buf > 0);
+  let h =
+    Sim.Check_fuzz.history_of_events ~label:"ring-truncated" ~complete:false
+      syntax (Obs.Sink.Ring.events buf)
+  in
+  List.iter
+    (fun (r : Analysis.Checker.result) ->
+      match r.Analysis.Checker.verdict with
+      | Analysis.Checker.Unknown _ -> ()
+      | _ -> Alcotest.fail "truncated trace produced a definite verdict")
+    (Analysis.Checker.check_all h)
 
 (* ---------- history reconstruction from lifecycle traces ---------- *)
 
@@ -350,6 +471,8 @@ let suite =
     Alcotest.test_case "event log rejects junk" `Quick test_event_log_rejects;
     Alcotest.test_case "event log error positions" `Quick
       test_event_log_error_positions;
+    Alcotest.test_case "ring truncation checks Unknown" `Quick
+      test_ring_truncation_unknown;
     Alcotest.test_case "history from lifecycle trace" `Quick
       test_fold_history;
     Alcotest.test_case "history truncation evidence" `Quick
@@ -367,4 +490,5 @@ let suite =
         prop_hist_quantile;
         prop_span_invariant;
         prop_ring_model;
+        prop_log_roundtrip;
       ]

@@ -191,16 +191,24 @@ let test_cross_shard_serializable () =
     let arrivals = Combin.Interleave.random st fmt in
     List.iter
       (fun k ->
-        let s =
-          Sched.Driver.run
-            (Sched.Sharded.create ~shards:k ~syntax ())
-            ~fmt ~arrivals:(Array.copy arrivals)
-        in
-        check_true "output conflict-serializable"
-          (Conflict.serializable syntax s.Sched.Driver.output);
-        if n <= 4 then
-          check_true "Herbrand agrees on tiny n"
-            (Herbrand.serializable syntax s.Sched.Driver.output))
+        (* shrinker-armed: a violating arrival stream is binary-searched
+           to a minimal failing prefix and printed with its repro data *)
+        check_sweep ~name:"cross-shard serializability"
+          ~repro:(fun small ->
+            Format.asprintf
+              "seed=%d shards=%d syntax=%a arrivals=%s (dune exec \
+               test/main.exe -- test sharded)"
+              seed k Syntax.pp syntax (pp_arrivals small))
+          ~fails:(fun a ->
+            let s =
+              Sched.Driver.run
+                (Sched.Sharded.create ~shards:k ~syntax ())
+                ~fmt ~arrivals:(Array.copy a)
+            in
+            (not (Conflict.serializable syntax s.Sched.Driver.output))
+            || (n <= 4
+               && not (Herbrand.serializable syntax s.Sched.Driver.output)))
+          arrivals)
       [ 2; 4; 8 ]
   done
 

@@ -50,3 +50,36 @@ let arbitrary_syntax_and_schedule ~max_n ~max_m ~n_vars =
     ~print:(fun (s, h) ->
       Format.asprintf "%a / %a" Core.Syntax.pp s Core.Schedule.pp h)
     (syntax_and_schedule_gen ~max_n ~max_m ~n_vars)
+
+(* ---------- seed-minimizing shrinker for the seeded sweeps ---------- *)
+
+(* Binary-search the shortest failing prefix of an arrival stream:
+   [fails] must hold on the full stream; the search maintains "prefix of
+   length [hi] fails" as an invariant, so the returned prefix is
+   guaranteed failing even when failure is not monotone in the prefix
+   length (it is then a local, not global, minimum — good enough for a
+   reproduction). O(log n) re-runs instead of O(n). *)
+let minimal_failing_prefix ~fails arrivals =
+  let n = Array.length arrivals in
+  let lo = ref 1 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fails (Array.sub arrivals 0 mid) then hi := mid else lo := mid + 1
+  done;
+  Array.sub arrivals 0 !hi
+
+let pp_arrivals arrivals =
+  String.concat ""
+    (Array.to_list (Array.map (fun tx -> string_of_int (tx + 1)) arrivals))
+
+(* Sweep step with shrinking: when [fails] holds on [arrivals], shrink
+   to a minimal failing prefix and fail the Alcotest case with a
+   reproduction line ([repro] renders the prefix into a command or
+   description the log reader can replay directly). *)
+let check_sweep ~name ~repro ~fails arrivals =
+  if fails arrivals then begin
+    let small = minimal_failing_prefix ~fails arrivals in
+    Alcotest.failf "%s: minimal failing prefix of %d/%d arrivals: %s\n  reproduce: %s"
+      name (Array.length small) (Array.length arrivals) (pp_arrivals small)
+      (repro small)
+  end
