@@ -15,8 +15,8 @@ let run () =
     "read/write step model: CSR ⊊ VSR ⊊ FSR (impossible in the paper's \
      RMW model)";
   (* classical histories *)
-  let t_rw = [ [ Rw_model.Read "x"; Rw_model.Write "x" ];
-               [ Rw_model.Read "x"; Rw_model.Write "x" ] ] in
+  let t_rw = [ [ Rw_model.read "x"; Rw_model.write "x" ];
+               [ Rw_model.read "x"; Rw_model.write "x" ] ] in
   show 2 (Rw_model.interleave t_rw [| 0; 1; 0; 1 |]);  (* lost update *)
   show 2 (Rw_model.interleave t_rw [| 0; 0; 1; 1 |]);  (* serial *)
   let n1, w1 = Rw_model.csr_implies_vsr_witness () in
@@ -36,8 +36,8 @@ let run () =
             (1 + Random.State.int st 2)
             (fun _ ->
               let v = if Random.State.bool st then "x" else "y" in
-              if Random.State.bool st then Rw_model.Write v
-              else Rw_model.Read v))
+              if Random.State.bool st then Rw_model.write v
+              else Rw_model.read v))
     in
     let fmt = Array.of_list (List.map List.length per_tx) in
     let h = Rw_model.interleave per_tx (Combin.Interleave.random st fmt) in
@@ -68,7 +68,7 @@ let run () =
 let x2 () =
   Tables.section "X2-lock-modes"
     "shared/exclusive 2PL over the read/write model (Eswaran et al.)";
-  let r v = Rw_model.Read v and w v = Rw_model.Write v in
+  let r v = Rw_model.read v and w v = Rw_model.write v in
   let show per_tx label =
     let shared = Locking.Rw_lock.programs per_tx in
     let exclusive =
@@ -93,7 +93,7 @@ let x2 () =
 let x3 () =
   Tables.section "X3-recovery"
     "recoverability classes (Gray 78): ST within ACA within RC";
-  let r v = Rw_model.Read v and w v = Rw_model.Write v in
+  let r v = Rw_model.read v and w v = Rw_model.write v in
   let act i j a = Recovery.Act { Rw_model.id = Names.step i j; action = a } in
   let show label h =
     Printf.printf "%-30s %-40s class %s\n" label
@@ -121,7 +121,7 @@ let x3 () =
              (fun (id : Names.step_id) ->
                events :=
                  Recovery.Act
-                   { Rw_model.id; action = Rw_model.Write (Core.Syntax.var syntax id) }
+                   { Rw_model.id; action = Rw_model.write (Core.Syntax.var syntax id) }
                  :: !events;
                if id.Names.idx = fmt.(id.Names.tx) - 1 then
                  events := Recovery.Commit id.Names.tx :: !events)

@@ -214,7 +214,8 @@ let read_file file =
   s
 
 let bench sizes mixes n_vars streams min_time seed smoke json out shards
-    shard_sizes mv_sizes mv_samples parallel domains twopc =
+    shard_sizes mv_sizes mv_samples sem_sizes sem_samples parallel domains
+    twopc =
   (* the sections are opt-in (--parallel, --twopc); --domains picks the
      parallel sweep, defaulting to the base configuration's (smoke
      keeps its tiny one) *)
@@ -250,6 +251,9 @@ let bench sizes mixes n_vars streams min_time seed smoke json out shards
         mv_sizes = (if mv_sizes = "" then [] else parse_sizes mv_sizes);
         mv_mixes = Sim.Sched_bench.default.Sim.Sched_bench.mv_mixes;
         mv_samples;
+        sem_sizes = (if sem_sizes = "" then [] else parse_sizes sem_sizes);
+        sem_mixes = Sim.Sched_bench.default.Sim.Sched_bench.sem_mixes;
+        sem_samples;
         par_domains;
         par_queues = Sim.Sched_bench.default.Sim.Sched_bench.par_queues;
         par_sizes = Sim.Sched_bench.default.Sim.Sched_bench.par_sizes;
@@ -262,10 +266,13 @@ let bench sizes mixes n_vars streams min_time seed smoke json out shards
   in
   let rows = Sim.Sched_bench.run spec in
   let mv = Sim.Sched_bench.mv_stats spec in
+  let sem = Sim.Sched_bench.sem_stats spec in
   let twopc_sec = Sim.Sched_bench.twopc_stats spec in
   let body =
     if json then begin
-      let s = Sim.Sched_bench.to_json ~mv ?twopc:twopc_sec spec rows in
+      let s =
+        Sim.Sched_bench.to_json ~mv ~semantic:sem ?twopc:twopc_sec spec rows
+      in
       if not (Sim.Sched_bench.json_well_formed s) then begin
         prerr_endline "ccopt: internal error: bench emitted malformed JSON";
         exit 1
@@ -274,8 +281,8 @@ let bench sizes mixes n_vars streams min_time seed smoke json out shards
     end
     else begin
       let base =
-        Format.asprintf "%a%a" Sim.Sched_bench.pp_rows rows
-          Sim.Sched_bench.pp_mv_stats mv
+        Format.asprintf "%a%a%a" Sim.Sched_bench.pp_rows rows
+          Sim.Sched_bench.pp_sem_stats sem Sim.Sched_bench.pp_mv_stats mv
       in
       match twopc_sec with
       | None -> base
@@ -834,6 +841,28 @@ let bench_cmd =
           ~doc:"Monte-Carlo samples per |P|/|H| breadth estimate in the \
                 multi-version admission table.")
   in
+  let sem_sizes =
+    let default =
+      String.concat ","
+        (List.map
+           (fun (n, m) -> Printf.sprintf "%dx%d" n m)
+           d.Sim.Sched_bench.sem_sizes)
+    in
+    Arg.(
+      value & opt string default
+      & info [ "sem-sizes" ] ~docv:"NxM,.."
+          ~doc:"Workload sizes of the commutativity section (rw-SGT vs the \
+                semantic engine over typed counter mixes); empty disables \
+                the section.")
+  in
+  let sem_samples =
+    Arg.(
+      value
+      & opt int d.Sim.Sched_bench.sem_samples
+      & info [ "sem-samples" ]
+          ~doc:"Monte-Carlo samples per |P|/|H| breadth estimate in the \
+                commutativity admission table.")
+  in
   let parallel =
     Arg.(
       value & flag
@@ -867,8 +896,8 @@ let bench_cmd =
              distributed-commit section)")
     Term.(
       const bench $ sizes $ mixes $ n_vars $ streams $ min_time $ seed $ smoke
-      $ json $ out $ shards $ shard_sizes $ mv_sizes $ mv_samples $ parallel
-      $ domains $ twopc)
+      $ json $ out $ shards $ shard_sizes $ mv_sizes $ mv_samples $ sem_sizes
+      $ sem_samples $ parallel $ domains $ twopc)
 
 let trace_cmd =
   let sched =

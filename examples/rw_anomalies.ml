@@ -6,8 +6,8 @@
 
 open Core
 
-let r v = Rw_model.Read v
-let w v = Rw_model.Write v
+let r v = Rw_model.read v
+let w v = Rw_model.write v
 
 let verdicts n h =
   Printf.sprintf "CSR=%-5b VSR=%-5b (polygraph %-5b) FSR=%b"

@@ -11,18 +11,45 @@ type request = {
 let request ?schedule ?policy ?certify ?(k = 2) syntax =
   { syntax; schedule; policy; certify; k }
 
+(* A transaction is a run of steps, one variable letter each: [x] is an
+   update of x, [X] a read of x, and a sigil before the letter declares
+   the op — [+x] incr, [-x] decr, [>x] enqueue, [^x] max, [!x] blind
+   write. "xy,+a+a,Xy" = T1 updates x then y, T2 increments a twice,
+   T3 reads x then updates y. *)
 let parse_syntax spec =
   let groups = String.split_on_char ',' spec in
-  Syntax.of_lists_typed
-    (List.map
-       (fun g ->
-         if g = "" then invalid_arg "empty transaction in --syntax";
-         List.init (String.length g) (fun i ->
-             let c = g.[i] in
-             if c >= 'A' && c <= 'Z' then
-               (Syntax.Read, String.make 1 (Char.lowercase_ascii c))
-             else (Syntax.Update, String.make 1 c)))
-       groups)
+  let parse_tx g =
+    if g = "" then invalid_arg "empty transaction in --syntax";
+    let steps = ref [] in
+    let i = ref 0 in
+    let len = String.length g in
+    while !i < len do
+      let sigil =
+        match g.[!i] with
+        | '+' -> Some Op.Incr
+        | '-' -> Some Op.Decr
+        | '>' -> Some Op.Enqueue
+        | '^' -> Some Op.Max
+        | '!' -> Some Op.Write
+        | _ -> None
+      in
+      (match sigil with
+      | Some op ->
+        if !i + 1 >= len then
+          invalid_arg "dangling op sigil in --syntax (expected a variable)";
+        steps :=
+          (op, String.make 1 (Char.lowercase_ascii g.[!i + 1])) :: !steps;
+        i := !i + 2
+      | None ->
+        let c = g.[!i] in
+        (if c >= 'A' && c <= 'Z' then
+           steps := (Op.Read, String.make 1 (Char.lowercase_ascii c)) :: !steps
+         else steps := (Op.Update, String.make 1 c) :: !steps);
+        incr i)
+    done;
+    List.rev !steps
+  in
+  Syntax.of_lists_typed (List.map parse_tx groups)
 
 let parse_interleaving spec =
   Array.init (String.length spec) (fun i ->

@@ -105,9 +105,9 @@ let expand syntax h =
          let v = Syntax.var syntax s in
          [|
            { Rw_model.id = Names.step s.tx (2 * s.idx);
-             action = Rw_model.Read v };
+             action = Rw_model.read v };
            { Rw_model.id = Names.step s.tx ((2 * s.idx) + 1);
-             action = Rw_model.Write v };
+             action = Rw_model.write v };
          |])
        (Array.to_list h))
 
@@ -116,10 +116,7 @@ let var_of p (h : Rw_model.history) =
 
 let tx_of p (h : Rw_model.history) = h.(p).Rw_model.id.Names.tx
 
-let is_write p (h : Rw_model.history) =
-  match h.(p).Rw_model.action with
-  | Rw_model.Write _ -> true
-  | Rw_model.Read _ -> false
+let is_write p (h : Rw_model.history) = Rw_model.is_write h.(p).Rw_model.action
 
 let is_read p h = not (is_write p h)
 

@@ -134,8 +134,22 @@ let make ?(label = "history") ?(complete = true) sess =
 (* ---------- construction from schedules and traces ---------- *)
 
 (* Value-semantics replay: each RMW step reads the variable's current
-   value and installs a globally fresh one; a [Syntax.Read] step only
-   reads. *)
+   value and installs a globally fresh one; an [Op.Read] step only
+   reads. Blind and semantic ops ([Op.observes op = false]) install a
+   fresh value without emitting a read event — the client observes
+   nothing of the value they replaced, which is exactly what lets the
+   semantic scheduler reorder them: the checker's reads-from axioms
+   place no constraint between two blind writes.
+
+   The projection is sound but incomplete for semantic histories: the
+   checker can never be tricked into accepting an incorrect history,
+   but a commutative-serializable interleaving whose rw projection is
+   not rw-serializable (e.g. a transaction reads a counter it bumped
+   after a foreign bump slipped in between — fine under counter
+   semantics, a lost-update shape to the INT axiom) is correctly
+   rejected at the rw level. Observer-free semantic histories (every
+   event W-only) always verify; test/test_semantic.ml pins both
+   directions. *)
 let replay ~label ~complete syntax (steps : (int * int) list) =
   let nt = Syntax.n_transactions syntax in
   let bufs = Array.make nt [] in
@@ -150,15 +164,14 @@ let replay ~label ~complete syntax (steps : (int * int) list) =
           (Printf.sprintf "History: transaction %d has no step %d" tx idx);
       let x = Syntax.var syntax (Names.step tx idx) in
       let v = match Hashtbl.find_opt cur x with Some v -> v | None -> initial_value in
-      match Syntax.kind syntax (Names.step tx idx) with
-      | Syntax.Read -> bufs.(tx) <- { kind = R; var = x; value = v } :: bufs.(tx)
-      | Syntax.Update ->
+      let op = Syntax.kind syntax (Names.step tx idx) in
+      if Op.observes op then
+        bufs.(tx) <- { kind = R; var = x; value = v } :: bufs.(tx);
+      if Op.writes op then begin
         incr fresh;
         Hashtbl.replace cur x !fresh;
-        bufs.(tx) <-
-          { kind = W; var = x; value = !fresh }
-          :: { kind = R; var = x; value = v }
-          :: bufs.(tx))
+        bufs.(tx) <- { kind = W; var = x; value = !fresh } :: bufs.(tx)
+      end)
     steps;
   build ~label ~complete
     (Array.to_list (Array.map (fun evs -> [ List.rev evs ]) bufs))

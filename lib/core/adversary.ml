@@ -79,6 +79,7 @@ let multiplicities n (g : Herbrand.hstate) =
       match t with
       | Herbrand.Init _ -> ()
       | Herbrand.App (_, args) -> List.iter collect args
+      | Herbrand.Sem (_, _, base) -> collect base
     end
   in
   Names.Vmap.iter (fun _ t -> collect t) g;
@@ -87,6 +88,11 @@ let multiplicities n (g : Herbrand.hstate) =
     (function
       | Herbrand.App (s, _) when s.Names.idx = 0 ->
         counts.(s.Names.tx) <- counts.(s.Names.tx) + 1
+      | Herbrand.Sem (_, ids, _) ->
+        List.iter
+          (fun (s : Names.step_id) ->
+            if s.Names.idx = 0 then counts.(s.Names.tx) <- counts.(s.Names.tx) + 1)
+          ids
       | Herbrand.App _ | Herbrand.Init _ -> ())
     !subterms;
   counts

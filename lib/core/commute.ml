@@ -1,0 +1,11 @@
+let commutes (a : Op.t) (b : Op.t) =
+  match (a, b) with
+  | Op.Read, Op.Read -> true
+  | (Op.Incr | Op.Decr), (Op.Incr | Op.Decr) -> true
+  | Op.Enqueue, Op.Enqueue -> true
+  | Op.Max, Op.Max -> true
+  | _, _ -> false
+
+let conflicts a b = not (commutes a b)
+
+let rw_conflicts a b = Op.writes a || Op.writes b

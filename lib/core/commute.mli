@@ -1,0 +1,36 @@
+(** The canonical commutativity table over {!Op.t}.
+
+    Two operations on the {e same} variable commute when executing them
+    in either order yields the same variable state {e and} neither
+    observes a value the other changes — the operation-level criterion
+    of "Limits of Commutativity on Abstract Data Types" specialised to
+    our operation vocabulary. Every conflict edge in the system
+    ({!Conflict}, [Sched.Semantic]) is drawn from this one table.
+
+    The table is symmetric and deliberately conservative:
+
+    - [Read]/[Read] commutes (neither installs anything);
+    - [Incr]/[Decr] commute among themselves ([x ± c] compose in any
+      order);
+    - [Enqueue]/[Enqueue] commutes (bag insertion);
+    - [Max]/[Max] commutes (monotone idempotent fold);
+    - {e every other pair conflicts} — in particular any pair involving
+      [Write] or [Update], and any cross-group semantic pair
+      ([Incr]/[Max], [Enqueue]/[Incr], ...). Unknown is treated exactly
+      like the read/write relation: conflict.
+
+    Restricted to the classical fragment [{Read; Write; Update}] the
+    relation coincides with {!rw_conflicts}, the textbook "at least one
+    writes" rule — pinned by a property test. *)
+
+val commutes : Op.t -> Op.t -> bool
+(** Symmetric: [commutes a b = commutes b a]. *)
+
+val conflicts : Op.t -> Op.t -> bool
+(** [not (commutes a b)] — the conflict relation schedulers filter
+    edges through. *)
+
+val rw_conflicts : Op.t -> Op.t -> bool
+(** The classical read/write conflict relation ("at least one step
+    writes"), kept as the reference point: on operations with
+    [not (Op.semantic op)] it equals {!conflicts}. *)

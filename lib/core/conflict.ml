@@ -1,16 +1,19 @@
 let graph_of_prefix syntax h k =
   let n = Syntax.n_transactions syntax in
   let g = Digraph.create n in
-  (* last_writers v = transactions having already accessed v, in order *)
-  let tbl : (Names.var, int list) Hashtbl.t = Hashtbl.create 16 in
+  (* tbl v = (transaction, op) pairs having already accessed v, in order *)
+  let tbl : (Names.var, (int * Op.t) list) Hashtbl.t = Hashtbl.create 16 in
   for pos = 0 to k - 1 do
     let id = h.(pos) in
     let v = Syntax.var syntax id in
+    let op = Syntax.kind syntax id in
     let earlier = try Hashtbl.find tbl v with Not_found -> [] in
     List.iter
-      (fun tx -> if tx <> id.Names.tx then Digraph.add_edge g tx id.Names.tx)
+      (fun (tx, op') ->
+        if tx <> id.Names.tx && Commute.conflicts op' op then
+          Digraph.add_edge g tx id.Names.tx)
       earlier;
-    Hashtbl.replace tbl v (id.Names.tx :: earlier)
+    Hashtbl.replace tbl v ((id.Names.tx, op) :: earlier)
   done;
   g
 

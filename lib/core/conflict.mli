@@ -6,12 +6,17 @@
     same variable conflict, and the order between them is observable
     under the Herbrand semantics. The {b conflict graph} of a schedule
     has an edge [T_i → T_k] whenever some step of [T_i] precedes a step
-    of [T_k] on the same variable.
+    of [T_k] on the same variable {e and the two operations do not
+    commute} per {!Commute.conflicts}. On untyped syntax (every step an
+    [Op.Update]) nothing commutes and the graph is the classical one;
+    typed syntax drops the commuting pairs — Read/Read, counter bumps,
+    bag inserts, monotone maxes — exactly the orders the extended
+    Herbrand semantics cannot observe.
 
-    Because the model has no blind writes (every write reads) and no dead
-    writes (every value written either survives or is read by the next
-    step on that variable), final-state, view and conflict
-    serializability all coincide here; acyclicity of the conflict graph
+    Because the pure RMW model has no blind writes (every write reads)
+    and no dead writes (every value written either survives or is read
+    by the next step on that variable), final-state, view and conflict
+    serializability all coincide there; acyclicity of the conflict graph
     decides [SR(T)] in polynomial time. This equivalence is
     cross-validated against the brute-force Herbrand test in the test
     suite and benchmarked in bench P4. *)

@@ -69,6 +69,29 @@ let two_counters =
   in
   System.make syntax interp
 
+let hot_account =
+  Syntax.make_typed
+    [|
+      [| (Op.Incr, "A"); (Op.Incr, "A") |];
+      [| (Op.Decr, "A"); (Op.Decr, "A") |];
+      [| (Op.Incr, "A") |];
+    |]
+
+let hot_account_system =
+  let interp =
+    [|
+      (* T1: two credits of $100 *)
+      [| Add (Local 0, int 100); Add (Local 1, int 100) |];
+      (* T2: two debits of $30 *)
+      [| Sub (Local 0, int 30); Sub (Local 1, int 30) |];
+      (* T3: one credit of $50 *)
+      [| Add (Local 0, int 50) |];
+    |]
+  in
+  System.make ~ic:(System.Pred (ge (Global "A") (int 0))) hot_account interp
+
+let hot_account_initial = State.of_ints [ ("A", 100) ]
+
 let indep =
   Syntax.of_lists [ [ "a"; "a" ]; [ "b"; "b" ]; [ "c"; "c" ] ]
 

@@ -35,6 +35,24 @@ val two_counters : System.t
 (** A small semantic playground: [T1] increments [x] twice; [T2] adds
     [x] into [y]. Used by tests for WSR/SR separations. *)
 
+val hot_account : Syntax.t
+(** One hot bank account, typed: [T1] credits [A] twice, [T2] debits it
+    twice, [T3] credits it once — five [Op.Incr]/[Op.Decr] steps on a
+    single variable. Under the rw reading this is {!hot_spot}[ 3 _];
+    under {!Commute} every pair commutes and the semantic scheduler
+    grants any arrival order. *)
+
+val hot_account_system : System.t
+(** {!hot_account} with concrete amounts (credits $100/$100/$50, debits
+    $30 each) and the integrity constraint [A ≥ 0] — the executable
+    side for [Exec] and [Sched.Assertional]. From
+    {!hot_account_initial} ([A = 100]) every interleaving keeps
+    [A ≥ 0], so the assertional scheduler, like the semantic one,
+    grants every arrival order (DESIGN.md compares the two). *)
+
+val hot_account_initial : State.t
+(** [A = 100]. *)
+
 val indep : Syntax.t
 (** Three transactions on pairwise disjoint variables — everything is
     serializable; the other extreme from a single hot spot. *)

@@ -1,23 +1,45 @@
+type group = Counter | Bag | Maxg
+
 type term =
   | Init of Names.var
   | App of Names.step_id * term list
+  | Sem of group * Names.step_id list * term
+
+let group_of_op : Op.t -> group option = function
+  | Op.Incr | Op.Decr -> Some Counter
+  | Op.Enqueue -> Some Bag
+  | Op.Max -> Some Maxg
+  | Op.Read | Op.Write | Op.Update -> None
 
 let rec equal_term a b =
   match a, b with
   | Init v, Init w -> String.equal v w
   | App (s, args), App (s', args') ->
     Names.equal_step s s' && List.equal equal_term args args'
-  | (Init _ | App _), _ -> false
+  | Sem (g, ids, base), Sem (g', ids', base') ->
+    g = g' && List.equal Names.equal_step ids ids' && equal_term base base'
+  | (Init _ | App _ | Sem _), _ -> false
 
 let rec compare_term a b =
   match a, b with
   | Init v, Init w -> String.compare v w
-  | Init _, App _ -> -1
+  | Init _, (App _ | Sem _) -> -1
   | App _, Init _ -> 1
+  | App _, Sem _ -> -1
+  | Sem _, (Init _ | App _) -> 1
   | App (s, args), App (s', args') -> (
     match Names.compare_step s s' with
     | 0 -> List.compare compare_term args args'
     | c -> c)
+  | Sem (g, ids, base), Sem (g', ids', base') -> (
+    match compare g g' with
+    | 0 -> (
+      match List.compare Names.compare_step ids ids' with
+      | 0 -> compare_term base base'
+      | c -> c)
+    | c -> c)
+
+let group_name = function Counter -> "ctr" | Bag -> "bag" | Maxg -> "max"
 
 let rec pp_term ppf = function
   | Init v -> Format.fprintf ppf "%s0" v
@@ -29,12 +51,20 @@ let rec pp_term ppf = function
          ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
          pp_term)
       args
+  | Sem (g, ids, base) ->
+    Format.fprintf ppf "%s{%a}(%a)" (group_name g)
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         (fun ppf (s : Names.step_id) ->
+           Format.fprintf ppf "%d%d" (s.tx + 1) (s.idx + 1)))
+      ids pp_term base
 
 let term_to_string t = Format.asprintf "%a" pp_term t
 
 let rec term_size = function
   | Init _ -> 1
   | App (_, args) -> List.fold_left (fun n t -> n + term_size t) 1 args
+  | Sem (_, ids, base) -> List.length ids + 1 + term_size base
 
 type hstate = term Names.Vmap.t
 
@@ -43,19 +73,48 @@ let initial syntax =
     (fun m v -> Names.Vmap.add v (Init v) m)
     Names.Vmap.empty (Syntax.vars syntax)
 
+(* Insert a step id into a Sem layer, keeping the multiset sorted — the
+   normal form that quotients exactly by the commutations {!Commute}
+   declares within one group. *)
+let sem_apply grp id t =
+  match t with
+  | Sem (g, ids, base) when g = grp ->
+    let rec insert = function
+      | [] -> [ id ]
+      | x :: rest as l ->
+        if Names.compare_step id x <= 0 then id :: l else x :: insert rest
+    in
+    Sem (grp, insert ids, base)
+  | _ -> Sem (grp, [ id ], t)
+
 let exec_step syntax (g, locals) (id : Names.step_id) =
   let x = Syntax.var syntax id in
+  let op = Syntax.kind syntax id in
   let read = Names.Vmap.find x g in
   let locals = Array.copy locals in
   locals.(id.tx) <- Array.copy locals.(id.tx);
-  locals.(id.tx).(id.idx) <- Some read;
-  let args =
-    List.init (id.idx + 1) (fun k ->
+  (* A blind or semantic op's read is unobservable (see {!Op.observes});
+     its local is a schedule-independent private token, so a later
+     Update's argument list stays invariant under the commutations the
+     typed semantics grants. *)
+  locals.(id.tx).(id.idx) <-
+    Some (if Op.observes op then read else App (id, []));
+  let args upto =
+    List.init upto (fun k ->
         match locals.(id.tx).(k) with
         | Some t -> t
         | None -> invalid_arg "Herbrand.exec_step: illegal schedule")
   in
-  (Names.Vmap.add x (App (id, args)) g, locals)
+  let g =
+    match op with
+    | Op.Read -> g
+    | Op.Update -> Names.Vmap.add x (App (id, args (id.idx + 1))) g
+    | Op.Write -> Names.Vmap.add x (App (id, args id.idx)) g
+    | Op.Incr | Op.Decr | Op.Enqueue | Op.Max ->
+      let grp = Option.get (group_of_op op) in
+      Names.Vmap.add x (sem_apply grp id read) g
+  in
+  (g, locals)
 
 let run syntax h =
   let fmt = Syntax.format syntax in

@@ -8,12 +8,36 @@
     same final Herbrand state (Herbrand's theorem, [Manna 74]).
 
     A schedule is {b serializable} ([∈ SR(T)]) iff its final Herbrand
-    state equals that of some serial schedule. *)
+    state equals that of some serial schedule.
+
+    {b Typed extension.} On typed syntax the semantics honours the
+    declared operations: an [Op.Read] installs nothing; an [Op.Write]'s
+    term omits its own (unused) read; and the semantic operations build
+    a {e layered commutative normal form} — [Sem (group, ids, base)]
+    records the sorted multiset of same-group operations applied on top
+    of [base], so two schedules that only reorder commuting operations
+    reach {e equal} states, and any observation (a [Read]/[Update], or
+    a cross-group op starting a new layer) seals the layer below.
+    Equality of normal forms is equivalence under every interpretation
+    that respects the declared commutativity — no cancellation or other
+    algebraic luck is assumed — which makes {!serializable} the exact
+    oracle behind the [semantic] scheduler's differential tests.
+    Untyped schedules (all [Op.Update]) reduce to the classical
+    semantics above. *)
+
+type group = Counter | Bag | Maxg
+(** The commuting groups of {!Commute}: [Incr]/[Decr] bumps, [Enqueue]
+    bag inserts, [Max] monotone folds. *)
 
 type term =
   | Init of Names.var  (** the initial value of a variable *)
   | App of Names.step_id * term list
       (** [f_ij] applied to the terms read so far by transaction [i] *)
+  | Sem of group * Names.step_id list * term
+      (** a sorted multiset of commuting same-group operations applied
+          over a base term *)
+
+val group_of_op : Op.t -> group option
 
 val equal_term : term -> term -> bool
 val compare_term : term -> term -> int

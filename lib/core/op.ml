@@ -1,0 +1,47 @@
+type t = Read | Write | Update | Incr | Decr | Enqueue | Max
+
+let all = [ Read; Write; Update; Incr; Decr; Enqueue; Max ]
+
+let writes = function
+  | Read -> false
+  | Write | Update | Incr | Decr | Enqueue | Max -> true
+
+let observes = function
+  | Read | Update -> true
+  | Write | Incr | Decr | Enqueue | Max -> false
+
+let semantic = function
+  | Incr | Decr | Enqueue | Max -> true
+  | Read | Write | Update -> false
+
+let to_char = function
+  | Read -> 'r'
+  | Write -> 'w'
+  | Update -> 'u'
+  | Incr -> '+'
+  | Decr -> '-'
+  | Enqueue -> 'q'
+  | Max -> 'm'
+
+let of_char = function
+  | 'r' -> Some Read
+  | 'w' -> Some Write
+  | 'u' -> Some Update
+  | '+' -> Some Incr
+  | '-' -> Some Decr
+  | 'q' -> Some Enqueue
+  | 'm' -> Some Max
+  | _ -> None
+
+let to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Update -> "update"
+  | Incr -> "incr"
+  | Decr -> "decr"
+  | Enqueue -> "enqueue"
+  | Max -> "max"
+
+let pp ppf op = Format.pp_print_string ppf (to_string op)
+
+let equal (a : t) b = a = b

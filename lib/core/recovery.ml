@@ -50,12 +50,14 @@ let cross_reads h =
   Array.iteri
     (fun p e ->
       match e with
-      | Act { Rw_model.id; action = Rw_model.Read v } ->
-        (match Hashtbl.find_opt last_writer v with
-        | Some i when i <> id.Names.tx -> acc := (i, id.Names.tx, p) :: !acc
-        | Some _ | None -> ())
-      | Act { Rw_model.id; action = Rw_model.Write v } ->
-        Hashtbl.replace last_writer v id.Names.tx
+      | Act { Rw_model.id; action } ->
+        let v = action.Rw_model.var in
+        if Op.observes action.Rw_model.op then (
+          match Hashtbl.find_opt last_writer v with
+          | Some i when i <> id.Names.tx -> acc := (i, id.Names.tx, p) :: !acc
+          | Some _ | None -> ());
+        if Op.writes action.Rw_model.op then
+          Hashtbl.replace last_writer v id.Names.tx
       | Commit _ | Abort _ -> ())
     h;
   List.rev !acc
@@ -94,9 +96,8 @@ let strict n h =
         | Some i when i <> id.Names.tx && not (Hashtbl.mem terminated i) ->
           ok := false
         | Some _ | None -> ());
-        (match action with
-        | Rw_model.Write _ -> Hashtbl.replace last_writer v id.Names.tx
-        | Rw_model.Read _ -> ()))
+        if Rw_model.is_write action then
+          Hashtbl.replace last_writer v id.Names.tx)
     h;
   !ok
 
@@ -114,9 +115,8 @@ let pp ppf h =
       match e with
       | Act s ->
         let letter =
-          match s.Rw_model.action with
-          | Rw_model.Read _ -> "R"
-          | Rw_model.Write _ -> "W"
+          String.make 1
+            (Char.uppercase_ascii (Op.to_char s.Rw_model.action.Rw_model.op))
         in
         Format.fprintf ppf "%s%d(%s)" letter
           (s.Rw_model.id.Names.tx + 1)

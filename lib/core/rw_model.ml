@@ -1,6 +1,8 @@
-type action =
-  | Read of Names.var
-  | Write of Names.var
+type action = { op : Op.t; var : Names.var }
+
+let act op var = { op; var }
+let read v = { op = Op.Read; var = v }
+let write v = { op = Op.Write; var = v }
 
 type step = { id : Names.step_id; action : action }
 
@@ -32,9 +34,9 @@ let interleave per_tx order =
     invalid_arg "Rw_model.interleave: incomplete interleaving";
   h
 
-let var_of = function Read v | Write v -> v
+let var_of a = a.var
 
-let is_write = function Write _ -> true | Read _ -> false
+let is_write a = Op.writes a.op
 
 let n_of_history h =
   Array.fold_left (fun acc s -> max acc (s.id.Names.tx + 1)) 0 h
@@ -48,24 +50,25 @@ let conflict_serializable n h =
       let a = h.(p) and b = h.(q) in
       if
         a.id.Names.tx <> b.id.Names.tx
-        && String.equal (var_of a.action) (var_of b.action)
-        && (is_write a.action || is_write b.action)
+        && String.equal a.action.var b.action.var
+        && Commute.conflicts a.action.op b.action.op
       then Digraph.add_edge g a.id.Names.tx b.id.Names.tx
     done
   done;
   not (Digraph.has_cycle g)
 
-(* The reads-from relation: for every read, the id of the write it reads
-   (None = the initial value); plus the final writer of every variable. *)
+(* The reads-from relation: for every observing read, the id of the
+   write it reads (None = the initial value); plus the final writer of
+   every variable. An [Update] both reads (before) and writes. *)
 let view_facts h =
   let last_writer : (Names.var, Names.step_id) Hashtbl.t = Hashtbl.create 8 in
   let reads = ref [] in
   Array.iter
     (fun s ->
-      match s.action with
-      | Read v ->
-        reads := (s.id, Hashtbl.find_opt last_writer v) :: !reads
-      | Write v -> Hashtbl.replace last_writer v s.id)
+      let { op; var = v } = s.action in
+      if Op.observes op then
+        reads := (s.id, Hashtbl.find_opt last_writer v) :: !reads;
+      if Op.writes op then Hashtbl.replace last_writer v s.id)
     h;
   let finals =
     Hashtbl.fold (fun v id acc -> (v, id) :: acc) last_writer []
@@ -107,7 +110,7 @@ let view_serializable_polygraph n h =
   let writer = function Some (id : Names.step_id) -> id.Names.tx | None -> t0 in
   let var_of_read (id : Names.step_id) =
     let s = Array.to_list h |> List.find (fun s -> s.id = id) in
-    var_of s.action
+    s.action.var
   in
   (* A read preceded by its own transaction's write of the variable
      reads that write in EVERY serial order. If the history disagrees it
@@ -118,10 +121,8 @@ let view_serializable_polygraph n h =
       (fun s ->
         s.id.Names.tx = id.Names.tx
         && s.id.Names.idx < id.Names.idx
-        &&
-        match s.action with
-        | Write w -> String.equal w v
-        | Read _ -> false)
+        && Op.writes s.action.op
+        && String.equal s.action.var v)
       h
   in
   let forced_self_violated =
@@ -136,10 +137,11 @@ let view_serializable_polygraph n h =
   let last_own_write j v =
     Array.fold_left
       (fun acc s ->
-        if s.id.Names.tx = j then
-          match s.action with
-          | Write w when String.equal w v -> Some s.id
-          | Write _ | Read _ -> acc
+        if
+          s.id.Names.tx = j
+          && Op.writes s.action.op
+          && String.equal s.action.var v
+        then Some s.id
         else acc)
       None h
   in
@@ -165,9 +167,9 @@ let view_serializable_polygraph n h =
     t0
     :: (Array.to_list h
        |> List.filter_map (fun s ->
-              match s.action with
-              | Write w when String.equal w v -> Some s.id.Names.tx
-              | Write _ | Read _ -> None))
+              if Op.writes s.action.op && String.equal s.action.var v then
+                Some s.id.Names.tx
+              else None))
     |> List.sort_uniq Int.compare
   in
   let fixed =
@@ -224,16 +226,16 @@ let final_terms h =
   in
   Array.iter
     (fun s ->
-      match s.action with
-      | Read v ->
-        read_so_far.(s.id.Names.tx) <- value v :: read_so_far.(s.id.Names.tx)
-      | Write v ->
+      let { op; var = v } = s.action in
+      if Op.observes op then
+        read_so_far.(s.id.Names.tx) <- value v :: read_so_far.(s.id.Names.tx);
+      if Op.writes op then
         Hashtbl.replace current v
           (T_write (s.id, List.rev read_so_far.(s.id.Names.tx))))
     h;
   let vars =
     Array.to_list h
-    |> List.map (fun s -> var_of s.action)
+    |> List.map (fun s -> s.action.var)
     |> List.sort_uniq String.compare
   in
   List.map (fun v -> (v, value v)) vars
@@ -246,17 +248,17 @@ let final_state_serializable n h =
 let csr_implies_vsr_witness () =
   (* R1(x) W2(x) W1(x) W3(x): the conflict graph has the 2-cycle
      T1 <-> T2, yet the history is view-equivalent to T1 T2 T3. *)
-  let t1 = [ Read "x"; Write "x" ] in
-  let t2 = [ Write "x" ] in
-  let t3 = [ Write "x" ] in
+  let t1 = [ read "x"; write "x" ] in
+  let t2 = [ write "x" ] in
+  let t3 = [ write "x" ] in
   (3, interleave [ t1; t2; t3 ] [| 0; 1; 0; 2 |])
 
 let vsr_not_fsr_witness () =
   (* T1 only reads; T2 blindly writes both variables. The history
      W2(x) R1(x) R1(y) W2(y) gives T1 a mixed view that no serial order
      reproduces, but T1's reads are dead, so the final state is serial. *)
-  let t1 = [ Read "x"; Read "y" ] in
-  let t2 = [ Write "x"; Write "y" ] in
+  let t1 = [ read "x"; read "y" ] in
+  let t2 = [ write "x"; write "y" ] in
   (2, interleave [ t1; t2 ] [| 1; 0; 0; 1 |])
 
 let var_of_action_exposed = var_of
@@ -266,8 +268,8 @@ let pp ppf h =
   Array.iteri
     (fun k s ->
       if k > 0 then Format.fprintf ppf ", ";
-      let letter = match s.action with Read _ -> "R" | Write _ -> "W" in
-      Format.fprintf ppf "%s%d(%s)" letter (s.id.Names.tx + 1)
-        (var_of s.action))
+      Format.fprintf ppf "%c%d(%s)"
+        (Char.uppercase_ascii (Op.to_char s.action.op))
+        (s.id.Names.tx + 1) s.action.var)
     h;
   Format.fprintf ppf ")"

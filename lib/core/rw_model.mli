@@ -8,12 +8,23 @@
     the separations [CSR ⊊ VSR ⊊ FSR] and benchmark the tests against
     each other (experiment X1).
 
-    A history is a sequence of read/write actions on variables; each
-    transaction's actions are totally ordered within it. *)
+    A history is a sequence of actions on variables; each transaction's
+    actions are totally ordered within it. An action is an {!Op.t}
+    paired with the variable it touches — the same operation type the
+    rest of the system uses. The classical fragment is [Op.Read] /
+    [Op.Write] (use {!read} and {!write}); {!conflict_serializable}
+    draws its edges from {!Commute.conflicts}, which coincides with the
+    textbook "at least one writes" rule on that fragment and extends it
+    to the semantic operations. *)
 
-type action =
-  | Read of Names.var
-  | Write of Names.var
+type action = { op : Op.t; var : Names.var }
+
+val act : Op.t -> Names.var -> action
+val read : Names.var -> action
+(** [{ op = Op.Read; var }]. *)
+
+val write : Names.var -> action
+(** [{ op = Op.Write; var }] — a blind write. *)
 
 type step = { id : Names.step_id; action : action }
 
@@ -29,9 +40,15 @@ val interleave : (action list) list -> int array -> history
     action). Raises [Invalid_argument] if [order] has the wrong
     occurrence counts. *)
 
+val var_of : action -> Names.var
+val is_write : action -> bool
+(** Whether the action installs a value — [Op.writes]. *)
+
 val conflict_serializable : int -> history -> bool
-(** [conflict_serializable n h]: classical conflict graph over [n]
-    transactions — edges on r-w, w-r and w-w pairs — acyclic? *)
+(** [conflict_serializable n h]: conflict graph over [n] transactions —
+    edges between same-variable pairs that do not commute per
+    {!Commute.conflicts} (on read/write histories: the classical r-w,
+    w-r and w-w pairs) — acyclic? *)
 
 val view_equivalent : int -> history -> history -> bool
 (** Same reads-from relation (reads-from-initial included) and same

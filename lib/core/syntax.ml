@@ -1,15 +1,13 @@
-type kind = Read | Update
-
 type t = {
   accesses : Names.var array array;
-  kinds : kind array array;
+  kinds : Op.t array array;
 }
 
 let make accesses =
   if Array.length accesses = 0 then invalid_arg "Syntax.make: empty system";
   {
     accesses = Array.map Array.copy accesses;
-    kinds = Array.map (fun tx -> Array.make (Array.length tx) Update) accesses;
+    kinds = Array.map (fun tx -> Array.make (Array.length tx) Op.Update) accesses;
   }
 
 let make_typed steps =
@@ -55,7 +53,7 @@ let kind s (id : Names.step_id) =
   s.kinds.(id.tx).(id.idx)
 
 let typed s =
-  Array.exists (fun tx -> Array.exists (fun k -> k = Read) tx) s.kinds
+  Array.exists (fun tx -> Array.exists (fun k -> k <> Op.Update) tx) s.kinds
 
 let vars s =
   Array.fold_left
@@ -68,7 +66,7 @@ let updates s i =
   let acc = ref Names.Vset.empty in
   Array.iteri
     (fun j v ->
-      if s.kinds.(i).(j) = Update then acc := Names.Vset.add v !acc)
+      if Op.writes s.kinds.(i).(j) then acc := Names.Vset.add v !acc)
     s.accesses.(i);
   Names.Vset.elements !acc
 
@@ -101,10 +99,11 @@ let pp ppf s =
         (fun j v ->
           if i > 0 || j > 0 then Format.fprintf ppf "@ ";
           match s.kinds.(i).(j) with
-          | Update ->
+          | Op.Update ->
             Format.fprintf ppf "%a: %s" Names.pp_step (Names.step i j) v
-          | Read ->
-            Format.fprintf ppf "%a: r(%s)" Names.pp_step (Names.step i j) v)
+          | k ->
+            Format.fprintf ppf "%a: %c(%s)" Names.pp_step (Names.step i j)
+              (Op.to_char k) v)
         tx)
     s.accesses;
   Format.fprintf ppf "@]"

@@ -6,32 +6,32 @@
     Each step is the indivisible execution of
     [t_ij ← x_ij ; x_ij ← f_ij(t_i1, ..., t_ij)].
 
-    Steps additionally carry a {!kind}. The paper's model makes every
-    step an atomic read-modify-write ([Update], the default everywhere);
-    [Read] marks a step that only reads its variable and installs
-    nothing. Single-version machinery ([Conflict], [Herbrand], the
-    locking policies, SGT) conservatively treats [Read] steps as
-    updates, which preserves all their guarantees; the multi-version
-    engines ([Sched.Mvcc]/[Si]/[Ssi]) and the history recorder
-    ([Analysis.History]) honour the distinction — it is what makes
-    snapshot-isolation anomalies such as write skew expressible. *)
-
-type kind = Read | Update
+    Steps additionally carry an operation type {!Op.t}. The paper's
+    model makes every step an atomic read-modify-write ([Op.Update],
+    the default everywhere); [Op.Read] marks a step that only reads its
+    variable and installs nothing, and the remaining operations declare
+    blind or semantic updates whose commutativity {!Commute} exposes to
+    the schedulers. Single-version rw machinery ([Conflict] on untyped
+    syntax, the locking policies, SGT) conservatively treats every
+    non-[Read] step as an update, which preserves all their guarantees;
+    the multi-version engines ([Sched.Mvcc]/[Si]/[Ssi]), the semantic
+    scheduler ([Sched.Semantic]) and the history recorder
+    ([Analysis.History]) honour the distinction. *)
 
 type t
 
 val make : Names.var array array -> t
 (** [make accesses] builds a syntax where [accesses.(i).(j)] is [x_ij],
     the variable accessed by step [j] of transaction [i]; every step is
-    an [Update]. Transactions may be empty. Raises [Invalid_argument]
+    an [Op.Update]. Transactions may be empty. Raises [Invalid_argument]
     on an empty system. *)
 
-val make_typed : (kind * Names.var) array array -> t
-(** Like {!make} but with an explicit kind per step. *)
+val make_typed : (Op.t * Names.var) array array -> t
+(** Like {!make} but with an explicit operation per step. *)
 
 val of_lists : Names.var list list -> t
 
-val of_lists_typed : (kind * Names.var) list list -> t
+val of_lists_typed : (Op.t * Names.var) list list -> t
 
 val format : t -> int array
 (** The paper's format [(m_1, ..., m_n)]. *)
@@ -48,20 +48,21 @@ val var : t -> Names.step_id -> Names.var
 (** [var s id] is [x_ij] for step [id]. Raises [Invalid_argument] on an
     out-of-range id. *)
 
-val kind : t -> Names.step_id -> kind
-(** The step's kind; [Update] for any syntax built by {!make} or
-    {!of_lists}. Raises [Invalid_argument] on an out-of-range id. *)
+val kind : t -> Names.step_id -> Op.t
+(** The step's operation; [Op.Update] for any syntax built by {!make}
+    or {!of_lists}. Raises [Invalid_argument] on an out-of-range id. *)
 
 val typed : t -> bool
-(** Whether any step is a [Read] (i.e. the syntax leaves the paper's
-    pure read-modify-write fragment). *)
+(** Whether any step is not an [Op.Update] (i.e. the syntax leaves the
+    paper's pure read-modify-write fragment). *)
 
 val vars : t -> Names.var list
 (** All distinct variable names, sorted. *)
 
 val updates : t -> int -> Names.var list
 (** [updates s i] is the sorted set of variables transaction [i]
-    updates (its write set — under pure RMW this equals its read set). *)
+    writes to (its write set — under pure RMW this equals its read
+    set; [Op.Read] steps do not contribute). *)
 
 val steps : t -> Names.step_id list
 (** All steps, transaction by transaction. *)
@@ -74,10 +75,10 @@ val transactions_on : t -> Names.var -> int list
 
 val rename : (Names.var -> Names.var) -> t -> t
 (** Apply a variable renaming (used for the §5.4 discussion of policies
-    correct under arbitrary renamings). Kinds are preserved. *)
+    correct under arbitrary renamings). Operations are preserved. *)
 
 val equal : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit
-(** Multi-line listing: one line per step, [Tij: x_ij] ([Tij: r(x_ij)]
-    for read-only steps). *)
+(** Multi-line listing: one line per step, [Tij: x_ij] for updates and
+    [Tij: k(x_ij)] with the {!Op.to_char} code otherwise. *)

@@ -14,7 +14,7 @@ type step =
 
 type program = step array
 
-let var_of_action = function Rw_model.Read v | Rw_model.Write v -> v
+let var_of_action = Rw_model.var_of
 
 let transform_with ~mode_for i actions =
   let actions = Array.of_list actions in
@@ -28,10 +28,8 @@ let transform_with ~mode_for i actions =
         let v = var_of_action a in
         if not (Hashtbl.mem first v) then Hashtbl.add first v j;
         Hashtbl.replace last v j;
-        match a with
-        | Rw_model.Write _ ->
-          if not (Hashtbl.mem first_write v) then Hashtbl.add first_write v j
-        | Rw_model.Read _ -> ())
+        if Rw_model.is_write a && not (Hashtbl.mem first_write v) then
+          Hashtbl.add first_write v j)
       actions;
     (* initial mode at first use, and the position of the upgrade to
        exclusive if a later write needs one *)
@@ -72,9 +70,9 @@ let transform_with ~mode_for i actions =
 
 let transform i actions =
   transform_with i actions ~mode_for:(fun ~first_use v actions ->
-      match actions.(first_use) with
-      | Rw_model.Write w when String.equal w v -> Exclusive
-      | _ -> Shared)
+      let a = actions.(first_use) in
+      if Rw_model.is_write a && String.equal a.Rw_model.var v then Exclusive
+      else Shared)
 
 let exclusive_only i actions =
   transform_with i actions ~mode_for:(fun ~first_use:_ _ _ -> Exclusive)
@@ -222,7 +220,8 @@ let pp_step ppf = function
   | Release v -> Format.fprintf ppf "unlock %s" v
   | Do s ->
     let letter =
-      match s.Rw_model.action with Rw_model.Read _ -> "R" | Rw_model.Write _ -> "W"
+      String.make 1
+        (Char.uppercase_ascii (Op.to_char s.Rw_model.action.Rw_model.op))
     in
     Format.fprintf ppf "%s%d(%s)" letter
       (s.Rw_model.id.Names.tx + 1)

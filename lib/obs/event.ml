@@ -17,6 +17,7 @@ type t =
   | Restarted of { tx : int }
   | Edge_added of { src : int; dst : int }
   | Cycle_refused of { tx : int; idx : int }
+  | Commute_pass of { tx : int; idx : int; skipped : int }
   | Lock_acquired of { tx : int; lock : string }
   | Lock_released of { tx : int; lock : string }
   | Wound of { victim : int }
@@ -43,6 +44,7 @@ let tx = function
   | Aborted { tx; _ }
   | Restarted { tx }
   | Cycle_refused { tx; _ }
+  | Commute_pass { tx; _ }
   | Lock_acquired { tx; _ }
   | Lock_released { tx; _ }
   | Ts_refused { tx; _ }
@@ -89,6 +91,8 @@ let pp ppf = function
     Format.fprintf ppf "edge T%d->T%d" (src + 1) (dst + 1)
   | Cycle_refused { tx; idx } ->
     Format.fprintf ppf "cycle-refused T%d.%d" (tx + 1) idx
+  | Commute_pass { tx; idx; skipped } ->
+    Format.fprintf ppf "commute-pass T%d.%d skipped=%d" (tx + 1) idx skipped
   | Lock_acquired { tx; lock } ->
     Format.fprintf ppf "lock T%d %s" (tx + 1) lock
   | Lock_released { tx; lock } ->

@@ -42,6 +42,11 @@ type t =
       (** SGT refused a request because it would close a cycle (fresh
           graph searches only; cached re-verdicts emit {!Delayed} via
           the driver) *)
+  | Commute_pass of { tx : int; idx : int; skipped : int }
+      (** the semantic scheduler granted a step although [skipped]
+          earlier same-variable accesses of other transactions were on
+          the books — every one of them commutes with the step's op, so
+          no conflict edge (and no coordination) was needed *)
   | Lock_acquired of { tx : int; lock : string }
   | Lock_released of { tx : int; lock : string }
   | Wound of { victim : int }

@@ -22,6 +22,8 @@ let line_of (ts, (ev : Event.t)) =
     Printf.sprintf "%s edge-added src=%d dst=%d" t src dst
   | Cycle_refused { tx; idx } ->
     Printf.sprintf "%s cycle-refused tx=%d idx=%d" t tx idx
+  | Commute_pass { tx; idx; skipped } ->
+    Printf.sprintf "%s commute-pass tx=%d idx=%d skipped=%d" t tx idx skipped
   | Lock_acquired { tx; lock } ->
     Printf.sprintf "%s lock-acquired tx=%d lock=%s" t tx lock
   | Lock_released { tx; lock } ->
@@ -142,6 +144,11 @@ let event_of_line line =
         let* tx = tx () in
         let* idx = idx () in
         Ok (Event.Cycle_refused { tx; idx })
+      | "commute-pass" ->
+        let* tx = tx () in
+        let* idx = idx () in
+        let* skipped = int_field fields "skipped" in
+        Ok (Event.Commute_pass { tx; idx; skipped })
       | "lock-acquired" ->
         let* tx = tx () in
         let* lock = field fields "lock" in

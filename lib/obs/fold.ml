@@ -76,7 +76,7 @@ let counters events =
                | Event.Scheduler_abort -> 0);
           }
       | Committed _ -> c := { !c with commits = !c.commits + 1 }
-      | Executed _ | Restarted _ | Edge_added _ | Cycle_refused _
+      | Executed _ | Restarted _ | Edge_added _ | Cycle_refused _ | Commute_pass _
       | Lock_acquired _ | Lock_released _ | Wound _ | Ts_refused _
       | Shard_routed _ | Snapshot_taken _ | Version_read _
       | Version_installed _ | Ww_refused _ | Pivot_refused _ | Twopc_sent _
@@ -104,7 +104,7 @@ let spans ~n events =
         (* a commit with no prior lifecycle event (truncated trace)
            carries no span information *)
         if Span.started sp tx then Span.finish sp tx ~now:ts
-      | Restarted _ | Edge_added _ | Cycle_refused _ | Lock_acquired _
+      | Restarted _ | Edge_added _ | Cycle_refused _ | Commute_pass _ | Lock_acquired _
       | Lock_released _ | Wound _ | Ts_refused _ | Shard_routed _
       | Snapshot_taken _ | Version_read _ | Version_installed _
       | Ww_refused _ | Pivot_refused _ | Twopc_sent _ | Twopc_delivered _
@@ -156,7 +156,7 @@ let history events =
           commits := tx :: !commits
         end
       | Submitted _ | Delayed _ | Granted _ | Restarted _ | Edge_added _
-      | Cycle_refused _ | Lock_acquired _ | Lock_released _ | Wound _
+      | Cycle_refused _ | Commute_pass _ | Lock_acquired _ | Lock_released _ | Wound _
       | Ts_refused _ | Shard_routed _ | Snapshot_taken _ | Version_read _
       | Version_installed _ | Ww_refused _ | Pivot_refused _ | Twopc_sent _
       | Twopc_delivered _ | Twopc_decided _ | Twopc_timeout _
@@ -219,7 +219,7 @@ let mv_history events =
           end
         end
       | Submitted _ | Delayed _ | Granted _ | Executed _ | Restarted _
-      | Edge_added _ | Cycle_refused _ | Lock_acquired _ | Lock_released _
+      | Edge_added _ | Cycle_refused _ | Commute_pass _ | Lock_acquired _ | Lock_released _
       | Wound _ | Ts_refused _ | Shard_routed _ | Snapshot_taken _
       | Ww_refused _ | Pivot_refused _ | Twopc_sent _ | Twopc_delivered _
       | Twopc_decided _ | Twopc_timeout _ | Node_crashed _

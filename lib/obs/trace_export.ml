@@ -93,6 +93,10 @@ let entries events =
         push
           (instant ~cat:internal ~ts ~tid:(tx + 1) "cycle-refused"
              [ ("step", Int idx) ])
+      | Commute_pass { tx; idx; skipped } ->
+        push
+          (instant ~cat:internal ~ts ~tid:(tx + 1) "commute-pass"
+             [ ("step", Int idx); ("skipped", Int skipped) ])
       | Lock_acquired { tx; lock } ->
         push (instant ~cat:internal ~ts ~tid:(tx + 1) "lock"
                 [ ("var", Str lock) ])

@@ -71,7 +71,7 @@ let create policy ?(sink = Obs.Sink.null) ~syntax () =
         | Some t -> Mvstore.reads_of t
         | None -> []
       in
-      if final_kind = Syntax.Read && not (List.mem final_var sofar) then
+      if final_kind = Op.Read && not (List.mem final_var sofar) then
         final_var :: sofar
       else sofar
     in
@@ -174,14 +174,15 @@ let create policy ?(sink = Obs.Sink.null) ~syntax () =
           | None -> ());
           shadow_add tx w)
         (Mvstore.newer_writers st x ~than:t.Mvstore.snap ~excluding:tx);
-    (match Syntax.kind syntax id with
-    | Syntax.Update ->
+    (* any writing op installs a version; the mv engines treat semantic
+       ops conservatively, as general updates *)
+    if Op.writes (Syntax.kind syntax id) then begin
       (match Mvstore.newest st x with
       | Some v when v.Mvstore.writer <> tx -> shadow_add v.Mvstore.writer tx
       | _ -> ());
       let v' = Mvstore.write st t x in
       record (Obs.Event.Version_installed { tx; var = x; value = v' })
-    | Syntax.Read -> ());
+    end;
     if id.Names.idx = fmt.(tx) - 1 then begin
       if policy.ssi then begin
         (* persist the edges this commit creates so later commit

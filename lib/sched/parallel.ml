@@ -134,6 +134,8 @@ let remap_event g : Obs.Event.t -> Obs.Event.t = function
   | Restarted { tx } -> Restarted { tx = g.(tx) }
   | Edge_added { src; dst } -> Edge_added { src = g.(src); dst = g.(dst) }
   | Cycle_refused { tx; idx } -> Cycle_refused { tx = g.(tx); idx }
+  | Commute_pass { tx; idx; skipped } ->
+    Commute_pass { tx = g.(tx); idx; skipped }
   | Lock_acquired { tx; lock } -> Lock_acquired { tx = g.(tx); lock }
   | Lock_released { tx; lock } -> Lock_released { tx = g.(tx); lock }
   | Wound { victim } -> Wound { victim = g.(victim) }

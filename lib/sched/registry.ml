@@ -60,6 +60,13 @@ let all =
         Si.create ?sink ~syntax ());
     entry ~standard:true "SSI" (fun ?sink syntax ->
         Ssi.create ?sink ~syntax ());
+    (* Commutativity-aware SGT: on the rw workloads the standard suite
+       drives, decision-identical to SGT (the conformance fuzz checks
+       its histories at the full ladder up to "ser"); on typed syntax
+       it admits the commuting orders rw-SGT delays, verified against
+       the extended Herbrand oracle in test/test_semantic.ml. *)
+    entry ~standard:true "semantic" (fun ?sink syntax ->
+        Semantic.create ?sink ~syntax ());
     entry "SGT-ref" (fun ?sink:_ syntax -> Sgt_ref.create ~syntax);
     (* The sharded engine with cross-shard commits routed through a
        fault-free 2PC service: decision-identical to "sharded" (the

@@ -36,7 +36,8 @@ val all : entry list
 
 val standard : entry list
 (** The standard measurement suite, registration order: serial, 2PL,
-    2PL', preclaim, SGT, TO, sharded (K = 4), MVCC, SI and SSI. *)
+    2PL', preclaim, SGT, TO, sharded (K = 4), MVCC, SI, SSI and
+    semantic. *)
 
 val names : string list
 (** The slug of every registered scheduler, registration order — what a

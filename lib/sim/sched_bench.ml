@@ -13,6 +13,13 @@ type spec = {
   mv_sizes : (int * int) list;
   mv_mixes : string list;
   mv_samples : int;
+  (* commutativity section; empty [sem_sizes] or [sem_mixes] skips it.
+     SGT vs the semantic engine on typed counter mixes — the hot and
+     skewed workloads where the commutativity table actually removes
+     conflict edges. *)
+  sem_sizes : (int * int) list;
+  sem_mixes : string list;
+  sem_samples : int;
   (* wall-clock parallel-execution section; empty [par_domains] skips it.
      Each variant runs one shard per domain (K = D), so d1 is the
      monolithic single-shard engine on one domain — the configuration a
@@ -56,6 +63,9 @@ let default =
     mv_sizes = [ (4, 3); (6, 3); (8, 2) ];
     mv_mixes = [ "rw-uniform"; "rw-hot"; "rw-readmost" ];
     mv_samples = 200;
+    sem_sizes = [ (4, 4); (8, 8); (16, 8) ];
+    sem_mixes = [ "ctr-hot"; "ctr-skewed" ];
+    sem_samples = 200;
     par_domains = [ 1; 2; 4; 8 ];
     par_queues = [ Sched.Chan.Ring; Sched.Chan.Mutex ];
     (* 2048x2 disjoint is the scaling cell; 256x2 keeps the contended
@@ -82,6 +92,9 @@ let smoke =
     mv_sizes = [ (3, 2) ];
     mv_mixes = [ "rw-hot" ];
     mv_samples = 20;
+    sem_sizes = [ (3, 2) ];
+    sem_mixes = [ "ctr-hot" ];
+    sem_samples = 20;
     par_domains = [ 1; 2 ];
     par_queues = [ Sched.Chan.Ring ];
     par_sizes = [ (16, 2) ];
@@ -110,10 +123,19 @@ let syntax_of_mix st ~mix ~n ~m ~n_vars =
      (including its false positives) rather than FCW *)
   | "rw-readmost" ->
     Workload.mixed st ~n ~m ~n_vars ~read_frac:0.8 ~theta:0.3
+  (* typed counter mixes for the commutativity section: mostly
+     increments/decrements with a thin read tail, concentrated on a hot
+     key or a zipf head — the regimes where rw conflict detection
+     serialises work the semantics never required *)
+  | "ctr-hot" ->
+    Workload.semantic_counters st ~n ~m ~n_vars ~theta:0.8 ~read_frac:0.1
+  | "ctr-skewed" ->
+    Workload.semantic_zipf st ~n ~m ~n_vars ~s:1.2 ~read_frac:0.1
   | name ->
     invalid_arg
       ("unknown workload mix " ^ name
-     ^ " (uniform, hot, skewed, disjoint, rw-uniform, rw-hot, rw-readmost)")
+     ^ " (uniform, hot, skewed, disjoint, rw-uniform, rw-hot, \
+        rw-readmost, ctr-hot, ctr-skewed)")
 
 let schedulers syntax =
   [
@@ -295,6 +317,91 @@ let mv_stats spec =
         spec.mv_sizes)
     spec.mv_mixes
 
+(* The commutativity section pits rw-SGT against the semantic engine on
+   typed counter mixes — identical machinery, the only delta being the
+   {!Core.Commute} filter on conflict edges. *)
+let sem_schedulers syntax =
+  [
+    ("SGT", fun sink -> Sched.Sgt.create ~sink ~syntax ());
+    ("semantic", fun sink -> Sched.Semantic.create ~sink ~syntax ());
+  ]
+
+let sem_timing syntax =
+  List.map
+    (fun (name, mk) -> (name, fun () -> mk Obs.Sink.null))
+    (sem_schedulers syntax)
+
+type sem_stat = {
+  sem_scheduler : string;
+  sem_mix : string;
+  sem_n : int;
+  sem_m : int;
+  sem_breadth : float;
+  sem_delays : int;
+  commute_passes : int;
+  commute_skipped : int;
+}
+
+let sem_stats spec =
+  match (spec.sem_mixes, spec.sem_sizes) with
+  | [], _ | _, [] -> []
+  | mixes, sizes ->
+    List.concat_map
+      (fun mix ->
+        List.concat_map
+          (fun (n, m) ->
+            let st =
+              Random.State.make
+                [| spec.seed; Hashtbl.hash mix; n; m; 0x5e6d |]
+            in
+            let syntax = syntax_of_mix st ~mix ~n ~m ~n_vars:spec.n_vars in
+            let fmt = Syntax.format syntax in
+            let arrivals =
+              Array.init spec.streams (fun _ ->
+                  Combin.Interleave.random st fmt)
+            in
+            List.map
+              (fun (name, mk) ->
+                let breadth =
+                  Sched.Driver.zero_delay_fraction
+                    (fun () -> mk Obs.Sink.null)
+                    ~fmt ~samples:spec.sem_samples ~seed:spec.seed
+                in
+                let passes = ref 0 and skipped = ref 0 and delays = ref 0 in
+                let sink =
+                  {
+                    Obs.Sink.now = 0.;
+                    enabled = true;
+                    emit =
+                      (fun _ e ->
+                        match e with
+                        | Obs.Event.Commute_pass { skipped = k; _ } ->
+                          incr passes;
+                          skipped := !skipped + k
+                        | _ -> ());
+                  }
+                in
+                Array.iter
+                  (fun a ->
+                    let s =
+                      Sched.Driver.run ~sink (mk sink) ~fmt ~arrivals:a
+                    in
+                    delays := !delays + s.Sched.Driver.delays)
+                  arrivals;
+                {
+                  sem_scheduler = name;
+                  sem_mix = mix;
+                  sem_n = n;
+                  sem_m = m;
+                  sem_breadth = breadth;
+                  sem_delays = !delays;
+                  commute_passes = !passes;
+                  commute_skipped = !skipped;
+                })
+              (sem_schedulers syntax))
+          sizes)
+      mixes
+
 let sharded_name k = Printf.sprintf "sharded-k%d" k
 
 (* The sharded section compares monolithic SGT against the sharded
@@ -387,6 +494,10 @@ let run spec =
     | [], _ | _, [] -> []
     | mixes, sizes ->
       run_section spec ~mixes ~sizes ~named_of_syntax:mv_timing)
+  @ (match (spec.sem_mixes, spec.sem_sizes) with
+    | [], _ | _, [] -> []
+    | mixes, sizes ->
+      run_section spec ~mixes ~sizes ~named_of_syntax:sem_timing)
   @ (match spec.shard_ks with
     | [] -> []
     | ks ->
@@ -441,6 +552,18 @@ let sharded_speedups rows =
           in
           Some (r.mix, r.n, r.m, k, r.req_per_sec /. sgt.req_per_sec)
         | Some _ | None -> None))
+    rows
+
+let semantic_speedups rows =
+  (* the semantic engine vs rw-SGT in the same typed-counter cell *)
+  List.filter_map
+    (fun r ->
+      if r.scheduler <> "semantic" then None
+      else
+        match find rows ~scheduler:"SGT" ~mix:r.mix ~n:r.n ~m:r.m with
+        | Some sgt when sgt.req_per_sec > 0. ->
+          Some (r.mix, r.n, r.m, r.req_per_sec /. sgt.req_per_sec)
+        | Some _ | None -> None)
     rows
 
 let parallel_speedups rows =
@@ -582,7 +705,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let to_json ?(mv = []) ?twopc spec rows =
+let to_json ?(mv = []) ?twopc ?(semantic = []) spec rows =
   let b = Buffer.create 4096 in
   let add = Buffer.add_string b in
   add "{\n";
@@ -678,6 +801,37 @@ let to_json ?(mv = []) ?twopc spec rows =
          "    \"coordinator_crash\": { \"repair\": %.1f, \"avg_blocking\": \
           %.3f, \"max_blocking\": %.3f }\n"
          s.cc_repair s.cc_avg_blocking s.cc_max_blocking);
+    add "  },\n");
+  (match semantic with
+  | [] -> ()
+  | sem ->
+    add
+      (Printf.sprintf
+         "  \"semantic_section\": {\n    \"samples\": %d,\n    \"results\": [\n"
+         spec.sem_samples);
+    List.iteri
+      (fun i s ->
+        add
+          (Printf.sprintf
+             "      { \"scheduler\": \"%s\", \"mix\": \"%s\", \"n\": %d, \
+              \"m\": %d, \"breadth\": %.4f, \"delays\": %d, \
+              \"commute_passes\": %d, \"commute_skipped\": %d }%s\n"
+             (json_escape s.sem_scheduler) (json_escape s.sem_mix) s.sem_n
+             s.sem_m s.sem_breadth s.sem_delays s.commute_passes
+             s.commute_skipped
+             (if i = List.length sem - 1 then "" else ",")))
+      sem;
+    add "    ],\n";
+    add "    \"speedup_vs_sgt\": {\n";
+    let ssp = semantic_speedups rows in
+    List.iteri
+      (fun i (mix, n, m, ratio) ->
+        add
+          (Printf.sprintf "      \"%s/%dx%d\": %.2f%s\n" (json_escape mix) n
+             m ratio
+             (if i = List.length ssp - 1 then "" else ",")))
+      ssp;
+    add "    }\n";
     add "  },\n");
   add
     (Printf.sprintf "  \"mv_section\": {\n    \"samples\": %d,\n    \"results\": [\n"
@@ -913,6 +1067,14 @@ let pp_rows ppf rows =
       (fun (mix, n, m, k, ratio) ->
         Format.fprintf ppf "  %-8s %3dx%-3d K=%-2d %6.2fx@." mix n m k ratio)
       ssp);
+  (match semantic_speedups rows with
+  | [] -> ()
+  | ssp ->
+    Format.fprintf ppf "@.semantic speedup vs SGT:@.";
+    List.iter
+      (fun (mix, n, m, ratio) ->
+        Format.fprintf ppf "  %-10s %3dx%-3d %6.2fx@." mix n m ratio)
+      ssp);
   match parallel_speedups rows with
   | [] -> ()
   | psp ->
@@ -924,6 +1086,21 @@ let pp_rows ppf rows =
         Format.fprintf ppf "  %-8s %3dx%-3d %-6s d=%-2d %6.2fx@." mix n m q d
           ratio)
       psp
+
+let pp_sem_stats ppf stats =
+  match stats with
+  | [] -> ()
+  | stats ->
+    Format.fprintf ppf
+      "@.commutativity admission (|P|/|H|, delays and commute passes):@.";
+    Format.fprintf ppf "%-12s %-9s %6s %9s %7s %7s %8s@." "mix" "sched"
+      "n x m" "breadth" "delays" "passes" "skipped";
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "%-12s %-9s %3dx%-3d %9.3f %7d %7d %8d@."
+          s.sem_mix s.sem_scheduler s.sem_n s.sem_m s.sem_breadth
+          s.sem_delays s.commute_passes s.commute_skipped)
+      stats
 
 let pp_mv_stats ppf stats =
   match stats with

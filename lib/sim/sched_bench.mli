@@ -38,6 +38,14 @@ type spec = {
           ["rw-uniform"]/["rw-hot"] read/update mixes *)
   mv_samples : int;
       (** Monte-Carlo samples behind each [breadth] estimate *)
+  sem_sizes : (int * int) list;
+      (** commutativity section sizes ([[]] disables the section) *)
+  sem_mixes : string list;
+      (** commutativity section mixes, typically the typed
+          ["ctr-hot"]/["ctr-skewed"] counter mixes where {!Core.Commute}
+          actually removes conflict edges *)
+  sem_samples : int;
+      (** Monte-Carlo samples behind each semantic [breadth] estimate *)
   par_domains : int list;
       (** parallel-execution section: domain counts to sweep ([[]]
           disables the section; include [1] — it is the wall-clock
@@ -90,8 +98,9 @@ val syntax_of_mix :
 
 val run : spec -> row list
 (** Timing rows: the single-version section, the multi-version section
-    (SGT vs MVCC/SI/SSI over [mv_mixes] x [mv_sizes]) and the sharded
-    section. *)
+    (SGT vs MVCC/SI/SSI over [mv_mixes] x [mv_sizes]), the
+    commutativity section (SGT vs the semantic engine over
+    [sem_mixes] x [sem_sizes]) and the sharded section. *)
 
 type mv_stat = {
   mv_scheduler : string;
@@ -115,8 +124,36 @@ val mv_stats : spec -> mv_stat list
     plus commit/abort counts from a traced pass over the cell's arrival
     streams. Empty when the section is disabled. *)
 
+type sem_stat = {
+  sem_scheduler : string;
+  sem_mix : string;
+  sem_n : int;
+  sem_m : int;
+  sem_breadth : float;
+      (** Monte-Carlo [|P| / |H|] over the typed-counter cell — on these
+          mixes the semantic engine's fixpoint strictly contains
+          rw-SGT's, so its breadth reads higher *)
+  sem_delays : int;  (** delays over the cell's arrival streams *)
+  commute_passes : int;
+      (** [Obs.Event.Commute_pass] count: grants that sailed past live
+          same-variable accesses because every one commuted (always [0]
+          for the rw engine) *)
+  commute_skipped : int;
+      (** total accesses those passes skipped — the conflict edges the
+          commutativity table deleted *)
+}
+
+val sem_stats : spec -> sem_stat list
+(** The commutativity admission table: per typed-counter cell, breadth
+    plus delay/commute-pass counts for rw-SGT and the semantic engine
+    on identical streams. Empty when the section is disabled. *)
+
 val speedups : row list -> (string * int * int * float) list
 (** [(mix, n, m, sgt_req_per_sec / sgt_ref_req_per_sec)] per cell. *)
+
+val semantic_speedups : row list -> (string * int * int * float) list
+(** [(mix, n, m, semantic_req_per_sec / sgt_req_per_sec)] per
+    commutativity-section cell. *)
 
 val sharded_speedups : row list -> (string * int * int * int * float) list
 (** [(mix, n, m, K, sharded_req_per_sec / sgt_req_per_sec)] per sharded
@@ -170,11 +207,19 @@ val twopc_stats : spec -> twopc_section option
 val pp_twopc : Format.formatter -> twopc_section -> unit
 
 val to_json :
-  ?mv:mv_stat list -> ?twopc:twopc_section -> spec -> row list -> string
+  ?mv:mv_stat list ->
+  ?twopc:twopc_section ->
+  ?semantic:sem_stat list ->
+  spec ->
+  row list ->
+  string
 (** Hand-emitted JSON: [{"benchmark", "unit", "config", "results":
     [row...], "sgt_speedup_vs_ref": {...},
     "sharded_speedup_vs_sgt": {...}, "parallel": {...}, "twopc": {...},
-    "mv_section": {...}}]. The ["parallel"] member appears only when
+    "semantic_section": {...}, "mv_section": {...}}]. The
+    ["semantic_section"] member appears only when stats are passed: the
+    commutativity admission rows plus the per-cell
+    ["speedup_vs_sgt"] map. The ["parallel"] member appears only when
     the rows contain parallel variants; it records
     [Domain.recommended_domain_count ()] alongside the speedups so a
     reader can tell concurrent gains from algorithmic ones. The
@@ -201,3 +246,4 @@ val merge_preserving : existing:string -> string -> string
 
 val pp_rows : Format.formatter -> row list -> unit
 val pp_mv_stats : Format.formatter -> mv_stat list -> unit
+val pp_sem_stats : Format.formatter -> sem_stat list -> unit

@@ -46,8 +46,53 @@ let mixed st ~n ~m ~n_vars ~read_frac ~theta =
   in
   let step () =
     let k =
-      if Random.State.float st 1.0 < read_frac then Syntax.Read
-      else Syntax.Update
+      if Random.State.float st 1.0 < read_frac then Op.Read else Op.Update
+    in
+    (k, pick ())
+  in
+  Syntax.make_typed (Array.init n (fun _ -> Array.init m (fun _ -> step ())))
+
+(* Hot-key credits/debits: every step is an [Incr] or [Decr] on a
+   hotspot-distributed variable, with a small fraction of [Read]
+   audits. The workload every rw scheduler serializes on the hot key
+   and the semantic scheduler admits without coordination. *)
+let semantic_counters st ~n ~m ~n_vars ~theta ~read_frac =
+  if n_vars < 1 then invalid_arg "Workload.semantic_counters: needs >= 1 variable";
+  let vars = Array.of_list (var_pool n_vars) in
+  let pick () =
+    if n_vars = 1 || Random.State.float st 1.0 < theta then vars.(0)
+    else vars.(1 + Random.State.int st (n_vars - 1))
+  in
+  let step () =
+    let k =
+      if Random.State.float st 1.0 < read_frac then Op.Read
+      else if Random.State.bool st then Op.Incr
+      else Op.Decr
+    in
+    (k, pick ())
+  in
+  Syntax.make_typed (Array.init n (fun _ -> Array.init m (fun _ -> step ())))
+
+(* The zipf-skewed variant: credits/debits over a zipfian key
+   distribution. *)
+let semantic_zipf st ~n ~m ~n_vars ~s ~read_frac =
+  if n_vars < 1 then invalid_arg "Workload.semantic_zipf: needs >= 1 variable";
+  let vars = Array.of_list (var_pool n_vars) in
+  let weights = Array.init n_vars (fun i -> float_of_int (i + 1) ** -.s) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let pick () =
+    let r = Random.State.float st total in
+    let rec go i acc =
+      let acc = acc +. weights.(i) in
+      if r < acc || i = n_vars - 1 then vars.(i) else go (i + 1) acc
+    in
+    go 0 0.
+  in
+  let step () =
+    let k =
+      if Random.State.float st 1.0 < read_frac then Op.Read
+      else if Random.State.bool st then Op.Incr
+      else Op.Decr
     in
     (k, pick ())
   in

@@ -32,10 +32,24 @@ val mixed :
   n:int -> m:int -> n_vars:int -> read_frac:float -> theta:float -> Syntax.t
 (** Typed read/update mix over a {!hotspot}-shaped variable
     distribution (including its [n_vars = 1] clamp): each step is a
-    [Syntax.Read] with probability [read_frac] and an RMW [Update]
+    [Op.Read] with probability [read_frac] and an RMW [Op.Update]
     otherwise. The workload that makes snapshot-isolation anomalies
     (write skew) reachable — under pure RMW, first-committer-wins
     already implies serializability. *)
+
+val semantic_counters :
+  Random.State.t ->
+  n:int -> m:int -> n_vars:int -> theta:float -> read_frac:float -> Syntax.t
+(** Hot-key credits/debits: each step is an [Op.Incr] or [Op.Decr]
+    (even odds) on a {!hotspot}-distributed variable, with a
+    [read_frac] fraction of [Op.Read] audits. Every rw scheduler
+    serializes this mix on the hot key; the [semantic] scheduler
+    admits the commuting bumps without coordination. *)
+
+val semantic_zipf :
+  Random.State.t ->
+  n:int -> m:int -> n_vars:int -> s:float -> read_frac:float -> Syntax.t
+(** The {!zipf}-skewed variant of {!semantic_counters}. *)
 
 val disjoint : n:int -> m:int -> Syntax.t
 (** Transaction [i] only touches its own variable — the zero-contention

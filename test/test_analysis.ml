@@ -83,8 +83,8 @@ let test_lost_update_rw () =
   let h =
     Rw_model.interleave
       [
-        [ Rw_model.Read "x"; Rw_model.Write "x" ];
-        [ Rw_model.Read "x"; Rw_model.Write "x" ];
+        [ Rw_model.read "x"; Rw_model.write "x" ];
+        [ Rw_model.read "x"; Rw_model.write "x" ];
       ]
       [| 0; 1; 0; 1 |]
   in
@@ -96,8 +96,8 @@ let test_dirty_read_rw () =
   let h =
     Rw_model.interleave
       [
-        [ Rw_model.Write "x"; Rw_model.Read "y" ];
-        [ Rw_model.Read "x"; Rw_model.Write "y" ];
+        [ Rw_model.write "x"; Rw_model.read "y" ];
+        [ Rw_model.read "x"; Rw_model.write "y" ];
       ]
       [| 0; 1; 1; 0 |]
   in
@@ -109,8 +109,8 @@ let test_write_skew_rw () =
   let h =
     Rw_model.interleave
       [
-        [ Rw_model.Read "x"; Rw_model.Write "y" ];
-        [ Rw_model.Read "y"; Rw_model.Write "x" ];
+        [ Rw_model.read "x"; Rw_model.write "y" ];
+        [ Rw_model.read "y"; Rw_model.write "x" ];
       ]
       [| 0; 1; 0; 1 |]
   in

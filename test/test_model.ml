@@ -149,9 +149,9 @@ let test_not_eligible () =
     (fun () -> ignore (Exec.run banking g0 h))
 
 let test_step_kinds () =
-  check_true "phi11 read" (System.step_kind banking (Names.step 0 0) = `Read);
-  check_true "phi34 write" (System.step_kind banking (Names.step 2 3) = `Write);
-  check_true "phi21 update" (System.step_kind banking (Names.step 1 0) = `Update)
+  check_true "phi11 read" (System.step_kind banking (Names.step 0 0) = Op.Read);
+  check_true "phi34 write" (System.step_kind banking (Names.step 2 3) = Op.Write);
+  check_true "phi21 update" (System.step_kind banking (Names.step 1 0) = Op.Update)
 
 let test_domain_validation () =
   let sys =

@@ -4,8 +4,8 @@
 open Util
 open Core
 
-let r v = Rw_model.Read v
-let w v = Rw_model.Write v
+let r v = Rw_model.read v
+let w v = Rw_model.write v
 let act s = Recovery.Act s
 let step i j a = { Rw_model.id = Names.step i j; action = a }
 
@@ -153,7 +153,7 @@ let prop_strict_2pl_histories_strict =
               (fun (id : Names.step_id) ->
                 {
                   Rw_model.id;
-                  action = Rw_model.Write (Syntax.var syntax id);
+                  action = Rw_model.write (Syntax.var syntax id);
                 })
               h
           in

@@ -5,7 +5,7 @@
 open Util
 open Core
 
-let t_simple = [ [ Rw_model.Read "x"; Rw_model.Write "x" ]; [ Rw_model.Read "x"; Rw_model.Write "x" ] ]
+let t_simple = [ [ Rw_model.read "x"; Rw_model.write "x" ]; [ Rw_model.read "x"; Rw_model.write "x" ] ]
 
 let test_make_and_interleave () =
   let h = Rw_model.make t_simple in
@@ -44,12 +44,12 @@ let test_view_facts () =
   (* W2(x) R1(x): the read reads from T2 *)
   let h =
     Rw_model.interleave
-      [ [ Rw_model.Read "x" ]; [ Rw_model.Write "x" ] ]
+      [ [ Rw_model.read "x" ]; [ Rw_model.write "x" ] ]
       [| 1; 0 |]
   in
   let h_serial =
     Rw_model.interleave
-      [ [ Rw_model.Read "x" ]; [ Rw_model.Write "x" ] ]
+      [ [ Rw_model.read "x" ]; [ Rw_model.write "x" ] ]
       [| 0; 1 |]
   in
   check_false "different reads-from" (Rw_model.view_equivalent 2 h h_serial);
@@ -69,7 +69,7 @@ let history_gen =
         (map2
            (fun w v ->
              let var = if v then "x" else "y" in
-             if w then Rw_model.Write var else Rw_model.Read var)
+             if w then Rw_model.write var else Rw_model.read var)
            bool bool)
     in
     let rec build i acc = if i = 0 then return (List.rev acc)
@@ -149,7 +149,7 @@ let test_polygraph_witnesses () =
 
 let test_polygraph_own_write () =
   (* reading your own write must not self-loop the polygraph *)
-  let per_tx = [ [ Rw_model.Write "x"; Rw_model.Read "x" ] ] in
+  let per_tx = [ [ Rw_model.write "x"; Rw_model.read "x" ] ] in
   let h = Rw_model.make per_tx in
   check_true "single tx trivially VSR"
     (Rw_model.view_serializable_polygraph 1 h)

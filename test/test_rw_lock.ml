@@ -4,8 +4,8 @@
 open Util
 open Core
 
-let r v = Rw_model.Read v
-let w v = Rw_model.Write v
+let r v = Rw_model.read v
+let w v = Rw_model.write v
 
 let test_compatibility () =
   check_true "S/S" (Locking.Rw_lock.compatible Locking.Rw_lock.Shared Locking.Rw_lock.Shared);

@@ -221,7 +221,7 @@ let test_slugs () =
     (List.map (fun r -> r.Sim.Trace_run.slug) runs
     = [
         "serial"; "2pl"; "2pl-prime"; "preclaim"; "sgt"; "to"; "sharded";
-        "mvcc"; "si"; "ssi";
+        "mvcc"; "si"; "ssi"; "semantic";
       ]);
   (* scheduler selection accepts slugs and is case-insensitive *)
   let picked = Sim.Trace_run.execute (spec ~only:[ "SGT"; "2pl-prime" ] ()) in
